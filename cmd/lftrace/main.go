@@ -1,0 +1,42 @@
+// Command lftrace dumps the raw data series behind the paper's
+// measurement figures as CSV on stdout: the Fig. 1 channel-dynamics
+// traces and the Fig. 4 comparator charging/jitter curves.
+//
+// Usage:
+//
+//	lftrace -fig 1 > fig1.csv
+//	lftrace -fig 4 > fig4.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lf/internal/experiment"
+)
+
+func main() {
+	fig := flag.Int("fig", 1, "figure to dump (1: channel dynamics, 2: IQ constellations, 4: comparator jitter, 5: collision lattice)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := experiment.Config{Seed: *seed, Epochs: 1}
+	var err error
+	switch *fig {
+	case 1:
+		err = experiment.WriteFig1CSV(os.Stdout, cfg)
+	case 2:
+		err = experiment.WriteFig2CSV(os.Stdout, cfg)
+	case 4:
+		err = experiment.WriteFig4CSV(os.Stdout, cfg)
+	case 5:
+		err = experiment.WriteFig5CSV(os.Stdout, cfg)
+	default:
+		err = fmt.Errorf("unknown figure %d (supported: 1, 2, 4, 5)", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lftrace:", err)
+		os.Exit(1)
+	}
+}

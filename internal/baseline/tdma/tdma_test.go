@@ -1,0 +1,117 @@
+package tdma
+
+import (
+	"testing"
+
+	"lf/internal/rng"
+)
+
+func TestTransferCeiling(t *testing.T) {
+	c := DefaultConfig()
+	r4 := c.Transfer(4)
+	r16 := c.Transfer(16)
+	// TDMA aggregate throughput is flat in n — the serialization
+	// ceiling of Fig. 8.
+	if r4.AggregateBps != r16.AggregateBps {
+		t.Fatalf("aggregate changed with n: %v vs %v", r4.AggregateBps, r16.AggregateBps)
+	}
+	if r16.PerNodeBps*16 != r16.AggregateBps {
+		t.Fatal("per-node share inconsistent")
+	}
+	if r4.Efficiency <= 0.9 || r4.Efficiency >= 1 {
+		t.Fatalf("slot efficiency %v implausible for a 4-bit QueryRep", r4.Efficiency)
+	}
+	if got := c.Transfer(0); got.AggregateBps != 0 {
+		t.Fatal("zero tags should carry nothing")
+	}
+}
+
+func TestSlotSeconds(t *testing.T) {
+	c := DefaultConfig()
+	want := float64(c.SlotBits+c.ControlBits) / c.BitRate
+	if c.SlotSeconds() != want {
+		t.Fatalf("slot = %v", c.SlotSeconds())
+	}
+}
+
+func TestInventoryIdentifiesAll(t *testing.T) {
+	c := DefaultConfig()
+	src := rng.New(1)
+	for _, n := range []int{1, 4, 16, 50} {
+		res, err := c.Inventory(n, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Singles != n {
+			t.Fatalf("n=%d: identified %d", n, res.Singles)
+		}
+		if res.Seconds <= 0 {
+			t.Fatalf("n=%d: non-positive time", n)
+		}
+		if res.Slots != res.Singles+res.Collisions+res.Empties {
+			t.Fatal("slot accounting inconsistent")
+		}
+	}
+}
+
+func TestInventoryZeroTags(t *testing.T) {
+	res, err := DefaultConfig().Inventory(0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != 0 || res.Seconds != 0 {
+		t.Fatalf("empty inventory consumed %d slots", res.Slots)
+	}
+}
+
+func TestInventoryScalesWithTags(t *testing.T) {
+	c := DefaultConfig()
+	src := rng.New(2)
+	t4, err := c.MeanInventorySeconds(4, 20, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t16, err := c.MeanInventorySeconds(16, 20, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t16 <= t4 {
+		t.Fatalf("16 tags (%v) not slower than 4 (%v)", t16, t4)
+	}
+	// Framed ALOHA needs at least n full slots; Q overhead means more.
+	if t16 < 16*c.SlotSeconds() {
+		t.Fatalf("identification faster than the serialization bound: %v", t16)
+	}
+}
+
+func TestInventoryCollisionsSlowerThanPerfect(t *testing.T) {
+	c := DefaultConfig()
+	src := rng.New(3)
+	res, err := c.Inventory(16, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Q algorithm cannot do better than one slot per tag.
+	if res.Slots < 16 {
+		t.Fatalf("used %d slots for 16 tags", res.Slots)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := DefaultConfig()
+	bad.BitRate = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero bitrate accepted")
+	}
+	badQ := DefaultConfig()
+	badQ.QInitial = 16
+	if badQ.Validate() == nil {
+		t.Fatal("out-of-range Q accepted")
+	}
+	if _, err := badQ.Inventory(4, rng.New(1)); err == nil {
+		t.Fatal("Inventory must validate its config")
+	}
+	if _, err := DefaultConfig().Inventory(-1, rng.New(1)); err == nil {
+		t.Fatal("negative tag count accepted")
+	}
+}

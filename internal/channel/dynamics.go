@@ -1,0 +1,172 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+
+	"lf/internal/rng"
+)
+
+// Trace is a time series of a received complex baseband value, used to
+// reproduce the channel-dynamics measurements of Fig. 1. T[i] is in
+// seconds; V[i] is the corresponding I/Q value.
+type Trace struct {
+	T []float64
+	V []complex128
+}
+
+// I returns the in-phase component series.
+func (tr *Trace) I() []float64 {
+	out := make([]float64, len(tr.V))
+	for i, v := range tr.V {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// Q returns the quadrature component series.
+func (tr *Trace) Q() []float64 {
+	out := make([]float64, len(tr.V))
+	for i, v := range tr.V {
+		out[i] = imag(v)
+	}
+	return out
+}
+
+// Swing returns the peak-to-peak excursion of the trace magnitude — the
+// summary statistic the experiments use to compare dynamic scenarios.
+func (tr *Trace) Swing() float64 {
+	if len(tr.V) == 0 {
+		return 0
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range tr.V {
+		m := cmplx.Abs(v)
+		if m < min {
+			min = m
+		}
+		if m > max {
+			max = m
+		}
+	}
+	return max - min
+}
+
+// DynamicsConfig parameterizes the Fig. 1 trace generators.
+type DynamicsConfig struct {
+	// Duration of the trace in seconds (Fig. 1 shows 12 s).
+	Duration float64
+	// Rate is the trace sample rate in Hz (coefficients move on human
+	// timescales, so ~100 Hz is plenty).
+	Rate float64
+	// Base is the quiescent received value (environment + tag
+	// reflection with the tag mid-toggle).
+	Base complex128
+}
+
+// DefaultDynamicsConfig matches Fig. 1's 12-second window.
+func DefaultDynamicsConfig() DynamicsConfig {
+	return DynamicsConfig{Duration: 12, Rate: 100, Base: complex(0.2, 0.1)}
+}
+
+// ouStep advances an Ornstein-Uhlenbeck process: mean-reverting noise
+// with rate theta, volatility sigma, step dt.
+func ouStep(x, theta, sigma, dt float64, src *rng.Source) float64 {
+	return x - theta*x*dt + sigma*math.Sqrt(dt)*src.Norm(0, 1)
+}
+
+// PeopleMovement generates the Fig. 1(a) scenario: the tag is
+// stationary but a person walks around the room, so multipath
+// components fade in and out. Modeled as the base value plus a slow
+// mean-reverting complex walk with occasional deep shadowing events.
+func PeopleMovement(cfg DynamicsConfig, src *rng.Source) *Trace {
+	n := int(cfg.Duration * cfg.Rate)
+	tr := &Trace{T: make([]float64, n), V: make([]complex128, n)}
+	dt := 1 / cfg.Rate
+	var wi, wq float64
+	// Shadowing: the walker periodically crosses the dominant path.
+	crossAt := cfg.Duration * src.Uniform(0.25, 0.55)
+	crossLen := src.Uniform(1.0, 2.5)
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		wi = ouStep(wi, 0.8, 0.25, dt, src)
+		wq = ouStep(wq, 0.8, 0.25, dt, src)
+		v := cfg.Base + complex(wi, wq)
+		if t > crossAt && t < crossAt+crossLen {
+			// Body blockage: strong attenuation plus phase pull.
+			frac := math.Sin(math.Pi * (t - crossAt) / crossLen)
+			v *= complex(1-0.7*frac, -0.3*frac)
+		}
+		tr.T[i] = t
+		tr.V[i] = v
+	}
+	return tr
+}
+
+// TagRotation generates the Fig. 1(b) scenario: the tag is rotated in
+// place without displacement. Rotation sweeps the polarization
+// mismatch, so the reflection amplitude follows |cos| of the rotation
+// angle while the phase advances with it.
+func TagRotation(cfg DynamicsConfig, src *rng.Source) *Trace {
+	n := int(cfg.Duration * cfg.Rate)
+	tr := &Trace{T: make([]float64, n), V: make([]complex128, n)}
+	dt := 1 / cfg.Rate
+	// Rotation speed wobbles — a human hand, not a motor.
+	omega := src.Uniform(0.6, 1.2) // rad/s nominal
+	var angle float64
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		angle += omega * dt * src.Tolerance(0.15)
+		polar := math.Abs(math.Cos(angle))
+		refl := cmplx.Rect(0.5*polar+0.05, angle/2)
+		tr.T[i] = t
+		tr.V[i] = cfg.Base + refl + src.ComplexNorm(1e-4)
+	}
+	return tr
+}
+
+// CoupledPair generates the Fig. 1(c) scenario for two tags: both
+// coefficients are steady while the tags are ~1 m apart; when they are
+// brought within coupling range (~5 cm) near-field coupling across
+// their antennas perturbs both coefficients. approachAt is the time the
+// tags start moving together, in seconds.
+func CoupledPair(cfg DynamicsConfig, approachAt float64, src *rng.Source) (a, b *Trace) {
+	n := int(cfg.Duration * cfg.Rate)
+	a = &Trace{T: make([]float64, n), V: make([]complex128, n)}
+	b = &Trace{T: make([]float64, n), V: make([]complex128, n)}
+	dt := 1 / cfg.Rate
+	baseA := cfg.Base + complex(0.12, -0.04)
+	baseB := cfg.Base + complex(-0.06, 0.10)
+	// Distance profile: 1 m until approachAt, then a smooth approach to
+	// 5 cm over two seconds, then held.
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		dist := 1.0
+		if t > approachAt {
+			prog := math.Min((t-approachAt)/2.0, 1.0)
+			dist = 1.0 - 0.95*prog
+		}
+		// Near-field coupling strength falls off steeply with distance;
+		// negligible beyond ~20 cm.
+		coup := math.Exp(-dist/0.05) * 0.35
+		mutual := cmplx.Rect(coup, 2*math.Pi*dist/0.33)
+		a.T[i], b.T[i] = t, t
+		a.V[i] = baseA + mutual + src.ComplexNorm(4e-5)
+		b.V[i] = baseB + mutual*complex(0.8, -0.2) + src.ComplexNorm(4e-5)
+	}
+	return a, b
+}
+
+// CoefficientDrift applies a slow complex drift to a coefficient over
+// an epoch, for failure-injection tests: h(t) = h·(1 + scale·walk(t)).
+func CoefficientDrift(h complex128, scale float64, steps int, src *rng.Source) []complex128 {
+	out := make([]complex128, steps)
+	var wi, wq float64
+	dt := 1.0 / float64(steps)
+	for i := 0; i < steps; i++ {
+		wi = ouStep(wi, 1.0, 1.0, dt, src)
+		wq = ouStep(wq, 1.0, 1.0, dt, src)
+		out[i] = h * (1 + complex(scale*wi, scale*wq))
+	}
+	return out
+}

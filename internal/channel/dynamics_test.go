@@ -1,0 +1,81 @@
+package channel
+
+import (
+	"testing"
+
+	"lf/internal/rng"
+)
+
+func TestPeopleMovementTrace(t *testing.T) {
+	cfg := DefaultDynamicsConfig()
+	tr := PeopleMovement(cfg, rng.New(1))
+	if len(tr.T) != int(cfg.Duration*cfg.Rate) {
+		t.Fatalf("trace length %d", len(tr.T))
+	}
+	if tr.T[len(tr.T)-1] <= tr.T[0] {
+		t.Fatal("time axis not increasing")
+	}
+	// The walker's crossing must produce visible signal variation.
+	if tr.Swing() < 0.05 {
+		t.Fatalf("people-movement swing %v too small", tr.Swing())
+	}
+}
+
+func TestTagRotationSweepsAmplitude(t *testing.T) {
+	tr := TagRotation(DefaultDynamicsConfig(), rng.New(2))
+	if tr.Swing() < 0.2 {
+		t.Fatalf("rotation swing %v, want polarization nulls", tr.Swing())
+	}
+}
+
+func TestCoupledPairStepsAtApproach(t *testing.T) {
+	cfg := DefaultDynamicsConfig()
+	approach := cfg.Duration * 0.5
+	a, b := CoupledPair(cfg, approach, rng.New(3))
+	// Before the approach both coefficients are essentially steady.
+	idxBefore := int(cfg.Rate * approach * 0.9)
+	var preSwing float64
+	for i := 1; i < idxBefore; i++ {
+		d := a.V[i] - a.V[0]
+		if m := real(d)*real(d) + imag(d)*imag(d); m > preSwing {
+			preSwing = m
+		}
+	}
+	// After full approach the mutual coupling shifts coefficient A.
+	last := a.V[len(a.V)-1] - a.V[0]
+	post := real(last)*real(last) + imag(last)*imag(last)
+	if post < 10*preSwing {
+		t.Fatalf("coupling shift %v not dominant over pre-approach wobble %v", post, preSwing)
+	}
+	if len(b.V) != len(a.V) {
+		t.Fatal("pair traces must have equal length")
+	}
+}
+
+func TestIQAccessors(t *testing.T) {
+	tr := &Trace{T: []float64{0, 1}, V: []complex128{1 + 2i, 3 + 4i}}
+	i, q := tr.I(), tr.Q()
+	if i[0] != 1 || i[1] != 3 || q[0] != 2 || q[1] != 4 {
+		t.Fatalf("I/Q = %v %v", i, q)
+	}
+}
+
+func TestSwingEmpty(t *testing.T) {
+	if (&Trace{}).Swing() != 0 {
+		t.Fatal("empty trace swing should be 0")
+	}
+}
+
+func TestCoefficientDrift(t *testing.T) {
+	out := CoefficientDrift(2+1i, 0.1, 50, rng.New(4))
+	if len(out) != 50 {
+		t.Fatalf("drift length %d", len(out))
+	}
+	// Drift stays in the neighbourhood of h for a modest scale.
+	for i, v := range out {
+		d := v - (2 + 1i)
+		if real(d)*real(d)+imag(d)*imag(d) > 4 {
+			t.Fatalf("drift step %d wandered too far: %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lf/internal/rng"
+)
+
+// blobs generates points around the given centres with the given noise.
+func blobs(centres []complex128, perCentre int, noise float64, src *rng.Source) []complex128 {
+	var out []complex128
+	for _, c := range centres {
+		for i := 0; i < perCentre; i++ {
+			out = append(out, c+src.ComplexNorm(noise*noise))
+		}
+	}
+	return out
+}
+
+func TestKMeansRecoversSeparatedClusters(t *testing.T) {
+	src := rng.New(1)
+	centres := []complex128{0, 10, 10i}
+	points := blobs(centres, 30, 0.1, src)
+	res := KMeans(points, 3, 4, 100, src)
+	// Every true centre must be near some recovered centroid.
+	for _, c := range centres {
+		best := math.Inf(1)
+		for _, got := range res.Centroids {
+			dr, di := real(got-c), imag(got-c)
+			if d := math.Hypot(dr, di); d < best {
+				best = d
+			}
+		}
+		if best > 0.2 {
+			t.Fatalf("centre %v not recovered (nearest %.3f away)", c, best)
+		}
+	}
+	counts := res.Counts()
+	for i, n := range counts {
+		if n != 30 {
+			t.Fatalf("cluster %d has %d points, want 30", i, n)
+		}
+	}
+}
+
+func TestKMeansPanicsOnZeroK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 should panic")
+		}
+	}()
+	KMeans([]complex128{1}, 0, 1, 1, rng.New(1))
+}
+
+func TestKMeansFewerPointsThanClusters(t *testing.T) {
+	src := rng.New(2)
+	res := KMeans([]complex128{1, 2}, 5, 2, 10, src)
+	if res.K != 5 {
+		t.Fatalf("K = %d", res.K)
+	}
+	if len(res.Assign) != 2 {
+		t.Fatalf("assignments = %d", len(res.Assign))
+	}
+}
+
+// TestAssignmentsAreNearest is the core k-means invariant: after
+// convergence every point is assigned to its nearest centroid.
+func TestAssignmentsAreNearest(t *testing.T) {
+	src := rng.New(3)
+	f := func(seed int64) bool {
+		s := rng.New(seed)
+		centres := []complex128{0, 5, 5i, 5 + 5i}
+		points := blobs(centres, 12, 0.3, s)
+		res := KMeans(points, 4, 3, 100, src)
+		for i, p := range points {
+			own := res.Centroids[res.Assign[i]]
+			dOwn := real(p-own)*real(p-own) + imag(p-own)*imag(p-own)
+			for _, c := range res.Centroids {
+				d := real(p-c)*real(p-c) + imag(p-c)*imag(p-c)
+				if d < dOwn-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSilhouetteSeparatedVsMerged(t *testing.T) {
+	src := rng.New(4)
+	sep := blobs([]complex128{0, 10}, 40, 0.2, src)
+	sepRes := KMeans(sep, 2, 4, 50, src)
+	merged := blobs([]complex128{0, 0.1}, 40, 1.0, src)
+	mergedRes := KMeans(merged, 2, 4, 50, src)
+	if Silhouette(sep, sepRes) < 0.8 {
+		t.Fatalf("separated silhouette %v too low", Silhouette(sep, sepRes))
+	}
+	if Silhouette(merged, mergedRes) > 0.6 {
+		t.Fatalf("merged silhouette %v too high", Silhouette(merged, mergedRes))
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	src := rng.New(5)
+	pts := []complex128{1, 2}
+	res := KMeans(pts, 1, 1, 10, src)
+	if Silhouette(pts, res) != 0 {
+		t.Fatal("k=1 silhouette should be 0")
+	}
+}
+
+func TestChooseKPicksThree(t *testing.T) {
+	src := rng.New(6)
+	// A single tag's differentials: rising, falling, hold.
+	centres := []complex128{complex(1, 0.5), complex(-1, -0.5), 0}
+	points := blobs(centres, 40, 0.05, src)
+	res := ChooseK(points, []int{1, 3, 9}, src)
+	if res.K != 3 {
+		t.Fatalf("ChooseK picked %d, want 3", res.K)
+	}
+}
+
+func TestChooseKPicksNineOnLattice(t *testing.T) {
+	src := rng.New(7)
+	e1, e2 := complex(1, 0.2), complex(-0.3, 1)
+	var centres []complex128
+	for a := -1; a <= 1; a++ {
+		for b := -1; b <= 1; b++ {
+			centres = append(centres, complex(float64(a), 0)*e1+complex(float64(b), 0)*e2)
+		}
+	}
+	points := blobs(centres, 25, 0.04, src)
+	res := ChooseK(points, []int{3, 9}, src)
+	if res.K != 9 {
+		t.Fatalf("ChooseK picked %d, want 9", res.K)
+	}
+}
+
+func TestChooseKSinglePoint(t *testing.T) {
+	src := rng.New(8)
+	res := ChooseK([]complex128{5}, []int{1, 3}, src)
+	if res == nil || res.K != 1 {
+		t.Fatalf("single point should be one cluster, got %+v", res)
+	}
+}
+
+func TestCollisionOrderMapping(t *testing.T) {
+	src := rng.New(9)
+	// One tag: three clusters → 1 collider.
+	one := blobs([]complex128{1 + 1i, -1 - 1i, 0}, 40, 0.05, src)
+	if n, _ := CollisionOrder(one, src); n != 1 {
+		t.Fatalf("single tag reported %d colliders", n)
+	}
+	// Two tags: nine clusters → 2 colliders.
+	e1, e2 := complex(1, 0), complex(0, 1)
+	var lattice []complex128
+	for a := -1; a <= 1; a++ {
+		for b := -1; b <= 1; b++ {
+			lattice = append(lattice, complex(float64(a), 0)*e1+complex(float64(b), 0)*e2)
+		}
+	}
+	two := blobs(lattice, 25, 0.04, src)
+	if n, _ := CollisionOrder(two, src); n != 2 {
+		t.Fatalf("two-tag lattice reported %d colliders", n)
+	}
+}
+
+func TestKMeansDeterministicWithSeed(t *testing.T) {
+	pts := blobs([]complex128{0, 4}, 20, 0.1, rng.New(10))
+	a := KMeans(pts, 2, 3, 50, rng.New(42))
+	b := KMeans(pts, 2, 3, 50, rng.New(42))
+	for i := range a.Centroids {
+		if a.Centroids[i] != b.Centroids[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}

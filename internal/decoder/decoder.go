@@ -1,0 +1,518 @@
+// Package decoder orchestrates the full LF-Backscatter reader pipeline
+// of §3: edge detection on IQ differentials, preamble-based stream
+// registration, drift-tracked slot walking, IQ cluster-based collision
+// detection and separation, and Viterbi error correction. Every stage
+// is individually toggleable so the Fig. 9 ablation (Edge / Edge+IQ /
+// Edge+IQ+Error) runs through the same code.
+package decoder
+
+import (
+	"fmt"
+	"sort"
+
+	"lf/internal/collide"
+	"lf/internal/edgedetect"
+	"lf/internal/iq"
+	"lf/internal/rng"
+	"lf/internal/streams"
+	"lf/internal/viterbi"
+)
+
+// SeparationMode selects how two-tag collisions are separated.
+type SeparationMode int
+
+const (
+	// SeparationHybrid (default): blind nine-cluster parallelogram
+	// separation when a colliding pair recurs often enough to populate
+	// the lattice, anchored classification otherwise.
+	SeparationHybrid SeparationMode = iota
+	// SeparationAnchored always classifies against the preamble-derived
+	// edge vectors.
+	SeparationAnchored
+	// SeparationBlind always attempts the paper's blind parallelogram;
+	// pairs with too few observations stay unresolved.
+	SeparationBlind
+)
+
+// Stages toggles pipeline stages for the Fig. 9 breakdown. Edge-based
+// concurrency is always on — it is the substrate the rest builds on.
+type Stages struct {
+	// IQSeparation enables collision detection and separation in the
+	// IQ plane (§3.3–3.4).
+	IQSeparation bool
+	// ErrorCorrection enables the Viterbi decoder (§3.5); without it
+	// slots are hard-decided independently.
+	ErrorCorrection bool
+}
+
+// AllStages enables the full pipeline.
+func AllStages() Stages { return Stages{IQSeparation: true, ErrorCorrection: true} }
+
+// Config configures the decoder.
+type Config struct {
+	// Edge configures edge detection.
+	Edge edgedetect.Config
+	// Streams configures registration and slot walking.
+	Streams streams.Config
+	// PayloadBits returns the frame payload length (in bits) for a
+	// stream at the given rate. The harness knows frame sizes; a
+	// deployed system would carry a length field.
+	PayloadBits func(rate float64) int
+	// Stages toggles pipeline stages.
+	Stages Stages
+	// Separation selects the collision separation strategy.
+	Separation SeparationMode
+	// MinBlindPoints is the minimum number of recurring collision
+	// observations required before blind separation is attempted.
+	MinBlindPoints int
+	// CancellationRounds enables successive interference cancellation:
+	// after each decode pass, decoded streams are subtracted from the
+	// capture and the pipeline re-runs on the residual to recover tags
+	// whose registration the interference masked. 0 disables.
+	CancellationRounds int
+	// Seed drives the decoder's internal randomness (k-means restarts).
+	Seed int64
+}
+
+// DefaultConfig assembles a full-pipeline decoder for captures at the
+// given sample rate, tag rate set, and fixed payload size.
+func DefaultConfig(sampleRate float64, rates []float64, payloadBits int) Config {
+	return Config{
+		Edge:               edgedetect.DefaultConfig(),
+		Streams:            streams.DefaultConfig(sampleRate, rates),
+		PayloadBits:        func(float64) int { return payloadBits },
+		Stages:             AllStages(),
+		Separation:         SeparationHybrid,
+		MinBlindPoints:     24,
+		CancellationRounds: 3,
+		Seed:               1,
+	}
+}
+
+// StreamResult is the decode of one registered stream.
+type StreamResult struct {
+	// Stream is the registered stream (rate, offset, anchor vector).
+	Stream *streams.Stream
+	// Slots are the walker observations, post collision cancellation.
+	Slots []streams.SlotObs
+	// States is the decoded edge-state sequence.
+	States []viterbi.State
+	// Bits is the decoded payload.
+	Bits []byte
+	// CollidedSlots counts slots that went through collision
+	// separation.
+	CollidedSlots int
+	// PayloadStart is the slot index of the first payload bit inside
+	// Slots/States (after the delimiter located by frame alignment).
+	PayloadStart int
+	// BlindSeparated reports whether any of this stream's collisions
+	// were resolved with the blind parallelogram method.
+	BlindSeparated bool
+	// Recovered reports that the stream was found on a cancellation
+	// residual rather than in the first pass.
+	Recovered bool
+}
+
+// Result is a full-capture decode.
+type Result struct {
+	// Streams holds one entry per registered stream, ordered by start
+	// offset.
+	Streams []*StreamResult
+	// EdgeCount is the number of edges the detector extracted.
+	EdgeCount int
+	// NoiseFloor is the detector's background differential magnitude.
+	NoiseFloor float64
+	// Collisions2 and Collisions3 count two-way and ≥three-way
+	// collision groups resolved.
+	Collisions2, Collisions3 int
+	// MergedSplits counts fully merged registrations that were split
+	// into two streams.
+	MergedSplits int
+	// RecoveredStreams counts streams found on cancellation residuals.
+	RecoveredStreams int
+}
+
+// Decode runs the pipeline over one epoch's capture.
+func Decode(capture *iq.Capture, cfg Config) (*Result, error) {
+	if cfg.PayloadBits == nil {
+		return nil, fmt.Errorf("decoder: PayloadBits is required")
+	}
+	det, err := edgedetect.New(capture, cfg.Edge)
+	if err != nil {
+		return nil, err
+	}
+	sts, err := streams.Register(det.Edges(), cfg.Streams, cfg.PayloadBits)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{EdgeCount: len(det.Edges()), NoiseFloor: det.NoiseFloor()}
+	src := rng.New(cfg.Seed)
+
+	// Walk every stream over its whole frame (preamble, delimiter,
+	// payload, plus slack for anchor misestimation); the payload is
+	// aligned on the delimiter after sequence decoding.
+	results := make([]*StreamResult, len(sts))
+	for i, st := range sts {
+		n := streams.FrameSlots(cfg.Streams, cfg.PayloadBits(st.Rate)) + alignSlack
+		results[i] = &StreamResult{Stream: st, Slots: streams.Walk(st, det, cfg.Streams, n)}
+	}
+
+	if cfg.Stages.IQSeparation {
+		// Split fully merged registrations (two tags on one slot grid)
+		// before cross-stream collision resolution. The re-walked
+		// constituents participate in ordinary collision resolution —
+		// their still-merged slots surface as two-claim edges there.
+		for _, sr := range append([]*StreamResult(nil), results...) {
+			if other, ok := trySplit(sr, det, cfg, src); ok {
+				results = append(results, other)
+				res.MergedSplits++
+			}
+		}
+		resolveCollisions(results, cfg, src, res)
+	}
+
+	// Per-stream sequence decoding.
+	sigma2 := obsNoiseVariance(det.NoiseFloor())
+	for _, sr := range results {
+		emissions := make([]viterbi.Emission, len(sr.Slots))
+		for k, slot := range sr.Slots {
+			s2 := sigma2
+			if slot.Kind == streams.MatchForeign {
+				// Residual interference after cancellation (or none at
+				// all if the collision was unresolvable): down-weight.
+				s2 *= 4
+			}
+			emissions[k] = viterbi.Emission{Obs: slot.Obs, E: sr.Stream.E, Sigma2: s2}
+		}
+		switch {
+		case !cfg.Stages.IQSeparation:
+			// Edge-only ablation: bit 1 wherever an edge matched.
+			sr.States = edgeOnlyStates(sr.Slots)
+		case cfg.Stages.ErrorCorrection:
+			// Slot 0 is (near) the anchor; the antenna is detuned
+			// before the frame, so the implicit previous edge is a
+			// falling one.
+			sr.States = viterbi.NewDecoder(0.5, viterbi.Down).Decode(emissions)
+		default:
+			sr.States = viterbi.HardDecode(emissions)
+		}
+		frameBits := viterbi.Bits(sr.States)
+		sr.PayloadStart = alignPayload(frameBits, cfg.Streams.PreambleLen)
+		sr.Bits = clampSlice(frameBits, sr.PayloadStart, cfg.PayloadBits(sr.Stream.Rate))
+	}
+
+	minRecoverE := 3 * det.NoiseFloor()
+	for round := 0; round < cfg.CancellationRounds; round++ {
+		fresh := cancelAndRetry(capture, results, cfg, minRecoverE)
+		if len(fresh) == 0 {
+			break
+		}
+		results = append(results, fresh...)
+		res.RecoveredStreams += len(fresh)
+	}
+	res.Streams = results
+	return res, nil
+}
+
+// alignSlack is the number of extra slots walked past the nominal
+// frame end, to cover anchor misestimation of a few slots.
+const alignSlack = 4
+
+// alignPayload locates the payload start inside a decoded frame: the
+// frame opens with a run of preamble 1s terminated by the 0 delimiter,
+// so the payload starts right after the longest 1-run in the frame
+// head. Falls back to the nominal position when the decoded preamble
+// is too corrupted to find.
+func alignPayload(frameBits []byte, preambleLen int) int {
+	limit := preambleLen + alignSlack + 1
+	if limit > len(frameBits) {
+		limit = len(frameBits)
+	}
+	run, bestRun, bestEnd := 0, 0, -1
+	for i := 0; i < limit; i++ {
+		if frameBits[i] == 1 {
+			run++
+			if run > bestRun {
+				bestRun, bestEnd = run, i
+			}
+			continue
+		}
+		run = 0
+	}
+	if bestRun >= 3 {
+		// bestEnd is the last 1 of the preamble; +1 is the delimiter.
+		return bestEnd + 2
+	}
+	return preambleLen + 1
+}
+
+func clampSlice(bits []byte, start, n int) []byte {
+	if start >= len(bits) {
+		return nil
+	}
+	end := start + n
+	if end > len(bits) {
+		end = len(bits)
+	}
+	return bits[start:end]
+}
+
+// edgeOnlyStates implements the "Edge" ablation: any matched edge is a
+// 1 bit; polarity bookkeeping follows blindly.
+func edgeOnlyStates(slots []streams.SlotObs) []viterbi.State {
+	states := make([]viterbi.State, len(slots))
+	level := byte(0)
+	for i, s := range slots {
+		if s.Kind != streams.MatchNone {
+			if level == 0 {
+				states[i] = viterbi.Up
+				level = 1
+			} else {
+				states[i] = viterbi.Down
+				level = 0
+			}
+		} else {
+			if level == 1 {
+				states[i] = viterbi.HoldAfterUp
+			} else {
+				states[i] = viterbi.HoldAfterDown
+			}
+		}
+	}
+	return states
+}
+
+// obsNoiseVariance converts the detector's median differential
+// magnitude (the noise floor) to the complex variance of a slot
+// observation: |d| under pure noise is Rayleigh, whose median is
+// σ·√(ln 4)/√2 ≈ 0.8326·σ.
+func obsNoiseVariance(floor float64) float64 {
+	s := floor / 0.8326
+	v := s * s
+	if v <= 0 {
+		v = 1e-18
+	}
+	return v
+}
+
+// claim locates one stream slot that references an edge.
+type claim struct {
+	stream, slot int
+}
+
+// resolveCollisions finds edges referenced by two or more streams'
+// slots, groups the recurring observations per colliding stream set,
+// separates them (blind or anchored), and rewrites each participant's
+// slot observation with the other tags' contributions cancelled.
+func resolveCollisions(results []*StreamResult, cfg Config, src *rng.Source, res *Result) {
+	claims := make(map[int][]claim)
+	for si, sr := range results {
+		for ki, slot := range sr.Slots {
+			if slot.EdgeIdx >= 0 {
+				claims[slot.EdgeIdx] = append(claims[slot.EdgeIdx], claim{si, ki})
+			}
+		}
+	}
+	// Group collision observations by the set of streams involved so a
+	// recurring pair accumulates lattice points.
+	type group struct {
+		streams []int   // stream indices, ascending
+		edges   []int   // edge indices (one per recurrence)
+		cls     []claim // all claims, in edge order
+	}
+	groups := make(map[string]*group)
+	edgeIdxs := make([]int, 0, len(claims))
+	for edgeIdx := range claims {
+		edgeIdxs = append(edgeIdxs, edgeIdx)
+	}
+	sort.Ints(edgeIdxs) // deterministic grouping order
+	for _, edgeIdx := range edgeIdxs {
+		cl := claims[edgeIdx]
+		if len(cl) < 2 {
+			continue
+		}
+		sort.Slice(cl, func(i, j int) bool { return cl[i].stream < cl[j].stream })
+		key := ""
+		var ss []int
+		for _, c := range cl {
+			key += fmt.Sprintf("%d,", c.stream)
+			ss = append(ss, c.stream)
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &group{streams: ss}
+			groups[key] = g
+		}
+		g.edges = append(g.edges, edgeIdx)
+		g.cls = append(g.cls, cl...)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := groups[k]
+		switch {
+		case len(g.streams) == 2:
+			res.Collisions2++
+			separatePair(results, g.streams[0], g.streams[1], g.cls, cfg, src)
+		default:
+			res.Collisions3++
+			separateJoint(results, g.cls)
+		}
+	}
+}
+
+// separatePair resolves a recurring two-stream collision. cls holds
+// the claims of both streams in matching order (pairs share the same
+// underlying edge).
+func separatePair(results []*StreamResult, sa, sb int, cls []claim, cfg Config, src *rng.Source) {
+	a, b := results[sa], results[sb]
+	// Collect one observation per collided edge (claims come in pairs
+	// referencing the same edge; slot Obs is the edge differential,
+	// identical for both claimants).
+	type pairSlot struct{ ka, kb int }
+	var pairs []pairSlot
+	var points []complex128
+	byEdge := make(map[int64][2]int) // edge pos -> {slotA, slotB}
+	for _, c := range cls {
+		sr := results[c.stream]
+		pos := sr.Slots[c.slot].Pos
+		e := byEdge[pos]
+		if c.stream == sa {
+			e[0] = c.slot + 1 // +1 so zero means unset
+		} else {
+			e[1] = c.slot + 1
+		}
+		byEdge[pos] = e
+	}
+	positions := make([]int64, 0, len(byEdge))
+	for pos := range byEdge {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	for _, pos := range positions {
+		e := byEdge[pos]
+		if e[0] == 0 || e[1] == 0 {
+			continue
+		}
+		ka, kb := e[0]-1, e[1]-1
+		pairs = append(pairs, pairSlot{ka, kb})
+		points = append(points, a.Slots[ka].Obs)
+	}
+	if len(points) == 0 {
+		return
+	}
+	eA, eB := a.Stream.E, b.Stream.E
+	useBlind := cfg.Separation != SeparationAnchored && len(points) >= cfg.MinBlindPoints
+	var sep *collide.Separation
+	if useBlind {
+		s, err := collide.SeparateBlind(points, src)
+		if err == nil {
+			// Align the blind vectors with the preamble anchors so
+			// states are attributed to the right physical stream with
+			// the right sign.
+			e1, e2 := s.E1, s.E2
+			if !collide.MatchVectors(e1, e2, eA, eB) {
+				e1, e2 = e2, e1
+				for i := range s.States {
+					s.States[i][0], s.States[i][1] = s.States[i][1], s.States[i][0]
+				}
+			}
+			if real(e1*complexConj(eA)) < 0 {
+				e1 = -e1
+				for i := range s.States {
+					s.States[i][0] = -s.States[i][0]
+				}
+			}
+			if real(e2*complexConj(eB)) < 0 {
+				e2 = -e2
+				for i := range s.States {
+					s.States[i][1] = -s.States[i][1]
+				}
+			}
+			s.E1, s.E2 = e1, e2
+			sep = s
+			a.BlindSeparated, b.BlindSeparated = true, true
+		}
+	}
+	if sep == nil {
+		if cfg.Separation == SeparationBlind {
+			return // leave unresolved, as the pure-blind mode demands
+		}
+		sep = collide.SeparateAnchored(points, eA, eB)
+	}
+	for i, ps := range pairs {
+		st := sep.States[i]
+		d := points[i]
+		// Cancel the other stream's separated contribution and hand
+		// each stream a soft residual observation.
+		a.Slots[ps.ka].Obs = d - complex(float64(st[1]), 0)*sep.E2
+		b.Slots[ps.kb].Obs = d - complex(float64(st[0]), 0)*sep.E1
+		a.CollidedSlots++
+		b.CollidedSlots++
+	}
+}
+
+// separateJoint resolves ≥3-way collisions by joint nearest-lattice
+// classification over all claimants' anchor vectors.
+func separateJoint(results []*StreamResult, cls []claim) {
+	byEdge := make(map[int64][]claim)
+	for _, c := range cls {
+		pos := results[c.stream].Slots[c.slot].Pos
+		byEdge[pos] = append(byEdge[pos], c)
+	}
+	positions := make([]int64, 0, len(byEdge))
+	for pos := range byEdge {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	for _, pos := range positions {
+		group := byEdge[pos]
+		if len(group) < 2 {
+			continue
+		}
+		es := make([]complex128, len(group))
+		for i, c := range group {
+			es[i] = results[c.stream].Stream.E
+		}
+		d := results[group[0].stream].Slots[group[0].slot].Obs
+		states := collide.ClassifyJoint(d, es)
+		for i, c := range group {
+			other := d
+			for j := range group {
+				if j != i {
+					other -= complex(float64(states[j]), 0) * es[j]
+				}
+			}
+			results[c.stream].Slots[c.slot].Obs = other
+			results[c.stream].CollidedSlots++
+		}
+	}
+}
+
+func complexConj(x complex128) complex128 { return complex(real(x), -imag(x)) }
+
+// BitErrors compares decoded bits to the ground truth and returns the
+// Hamming distance over the common prefix plus one error per length
+// mismatch position.
+func BitErrors(decoded, truth []byte) int {
+	n := len(decoded)
+	if len(truth) < n {
+		n = len(truth)
+	}
+	errs := 0
+	for i := 0; i < n; i++ {
+		if decoded[i] != truth[i] {
+			errs++
+		}
+	}
+	if len(decoded) > n {
+		errs += len(decoded) - n
+	}
+	if len(truth) > n {
+		errs += len(truth) - n
+	}
+	return errs
+}

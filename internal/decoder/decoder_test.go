@@ -1,0 +1,293 @@
+package decoder
+
+import (
+	"math"
+	"testing"
+
+	"lf/internal/channel"
+	"lf/internal/reader"
+	"lf/internal/rng"
+	"lf/internal/streams"
+	"lf/internal/tag"
+)
+
+// buildEpoch synthesizes one epoch from tag configs.
+func buildEpoch(t *testing.T, seed int64, payload int, cfgs ...tag.Config) *reader.Epoch {
+	t.Helper()
+	src := rng.New(seed)
+	p := channel.DefaultParams()
+	geoms := channel.PlaceRing(len(cfgs), 2, src.Split("place"))
+	ch := channel.NewModel(p, geoms, src.Split("noise"))
+	var emissions []*tag.Emission
+	longest := 0.0
+	for i := range cfgs {
+		cfgs[i].ID = i
+		if cfgs[i].Payload == nil {
+			cfgs[i].Payload = src.Bits(payload)
+		}
+		em := tag.Emit(cfgs[i], src)
+		emissions = append(emissions, em)
+		if em.End() > longest {
+			longest = em.End()
+		}
+	}
+	epCfg := reader.EpochConfig{SampleRate: 25e6, EdgeSamples: 3, Duration: longest + 150e-6}
+	ep, err := reader.Synthesize(ch, emissions, epCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep
+}
+
+func defaultTag(rate float64) tag.Config {
+	return tag.Config{BitRate: rate, ClockPPM: 150, Comparator: tag.DefaultComparator()}
+}
+
+// score matches streams to emissions by best shifted-content overlap.
+func score(ep *reader.Epoch, res *Result) (correct, total int) {
+	used := map[int]bool{}
+	for _, em := range ep.Emissions {
+		truth := em.Bits[tag.FrameOverhead:]
+		total += len(truth)
+		best := len(truth)
+		bestIdx := -1
+		for si, sr := range res.Streams {
+			if used[si] {
+				continue
+			}
+			for shift := -3; shift <= 3; shift++ {
+				errs := 0
+				n := 0
+				for i := range sr.Bits {
+					j := i + shift
+					if j < 0 || j >= len(truth) {
+						continue
+					}
+					n++
+					if sr.Bits[i] != truth[j] {
+						errs++
+					}
+				}
+				errs += len(truth) - n
+				if errs < best {
+					best, bestIdx = errs, si
+				}
+			}
+		}
+		if bestIdx >= 0 {
+			used[bestIdx] = true
+		}
+		correct += len(truth) - best
+	}
+	return correct, total
+}
+
+func TestDecodeSingleTagExact(t *testing.T) {
+	ep := buildEpoch(t, 1, 300, defaultTag(100e3))
+	cfg := DefaultConfig(25e6, []float64{100e3}, 300)
+	res, err := Decode(ep.Capture, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Streams) != 1 {
+		t.Fatalf("streams = %d", len(res.Streams))
+	}
+	c, total := score(ep, res)
+	if c != total {
+		t.Fatalf("decoded %d/%d bits", c, total)
+	}
+}
+
+func TestDecodeFourTags(t *testing.T) {
+	ep := buildEpoch(t, 2, 300, defaultTag(100e3), defaultTag(100e3), defaultTag(100e3), defaultTag(100e3))
+	cfg := DefaultConfig(25e6, []float64{100e3}, 300)
+	res, err := Decode(ep.Capture, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, total := score(ep, res)
+	if float64(c) < 0.95*float64(total) {
+		t.Fatalf("decoded %d/%d bits", c, total)
+	}
+}
+
+func TestFullyMergedPairSeparates(t *testing.T) {
+	// Both tags share a deterministic comparator delay and zero drift:
+	// every edge collides (the Fig. 3-bottom case).
+	comp := tag.DefaultComparator()
+	comp.CapacitorTolerance = 0
+	comp.EnergySpread = 0
+	comp.ChargeNoise = 0
+	a := tag.Config{BitRate: 100e3, Comparator: comp}
+	b := tag.Config{BitRate: 100e3, Comparator: comp}
+	ep := buildEpoch(t, 92, 300, a, b)
+	cfg := DefaultConfig(25e6, []float64{100e3}, 300)
+	res, err := Decode(ep.Capture, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Streams) != 2 {
+		t.Fatalf("merged pair produced %d streams", len(res.Streams))
+	}
+	c, total := score(ep, res)
+	if float64(c) < 0.95*float64(total) {
+		t.Fatalf("merged pair decoded %d/%d bits", c, total)
+	}
+}
+
+func TestStageAblationOrdering(t *testing.T) {
+	// With collisions present, each added stage must not hurt — and
+	// the full pipeline must beat edge-only decoding.
+	comp := tag.DefaultComparator()
+	comp.CapacitorTolerance = 0
+	comp.EnergySpread = 0
+	comp.ChargeNoise = 0
+	a := tag.Config{BitRate: 100e3, Comparator: comp}
+	b := tag.Config{BitRate: 100e3, Comparator: comp}
+	ep := buildEpoch(t, 99, 400, a, b)
+	run := func(st Stages) int {
+		cfg := DefaultConfig(25e6, []float64{100e3}, 400)
+		cfg.Stages = st
+		res, err := Decode(ep.Capture, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := score(ep, res)
+		return c
+	}
+	edge := run(Stages{})
+	full := run(AllStages())
+	if full <= edge {
+		t.Fatalf("full pipeline (%d) did not beat edge-only (%d) on a full collision", full, edge)
+	}
+}
+
+func TestDecodeRequiresPayloadBits(t *testing.T) {
+	ep := buildEpoch(t, 3, 50, defaultTag(100e3))
+	cfg := DefaultConfig(25e6, []float64{100e3}, 50)
+	cfg.PayloadBits = nil
+	if _, err := Decode(ep.Capture, cfg); err == nil {
+		t.Fatal("nil PayloadBits accepted")
+	}
+}
+
+func TestAlignPayload(t *testing.T) {
+	// Perfectly decoded frame head: preamble, delimiter, payload.
+	frame := []byte{1, 1, 1, 1, 1, 1, 0 /*payload:*/, 1, 0, 1}
+	if got := alignPayload(frame, 6); got != 7 {
+		t.Fatalf("aligned start %d, want 7", got)
+	}
+	// Registration started two slots early: two leading noise bits.
+	frame = append([]byte{0, 0}, frame...)
+	if got := alignPayload(frame, 6); got != 9 {
+		t.Fatalf("early-anchor start %d, want 9", got)
+	}
+	// Unrecoverable head falls back to the nominal position.
+	garbage := []byte{0, 1, 0, 1, 0, 1, 0, 1, 0, 1}
+	if got := alignPayload(garbage, 6); got != 7 {
+		t.Fatalf("fallback start %d, want 7", got)
+	}
+}
+
+func TestClampSlice(t *testing.T) {
+	bits := []byte{1, 2, 3, 4}
+	if got := clampSlice(bits, 1, 2); len(got) != 2 || got[0] != 2 {
+		t.Fatalf("clampSlice = %v", got)
+	}
+	if got := clampSlice(bits, 3, 10); len(got) != 1 {
+		t.Fatalf("overrun clamp = %v", got)
+	}
+	if got := clampSlice(bits, 9, 2); got != nil {
+		t.Fatalf("out-of-range clamp = %v", got)
+	}
+}
+
+func TestBitErrors(t *testing.T) {
+	if got := BitErrors([]byte{1, 0, 1}, []byte{1, 1, 1}); got != 1 {
+		t.Fatalf("BitErrors = %d", got)
+	}
+	if got := BitErrors([]byte{1}, []byte{1, 0, 0}); got != 2 {
+		t.Fatalf("short decode BitErrors = %d", got)
+	}
+	if got := BitErrors([]byte{1, 0, 0}, []byte{1}); got != 2 {
+		t.Fatalf("long decode BitErrors = %d", got)
+	}
+}
+
+func TestObsNoiseVariance(t *testing.T) {
+	v := obsNoiseVariance(8.326e-5)
+	if math.Abs(v-1e-8) > 2e-10 {
+		t.Fatalf("variance %v, want ~1e-8", v)
+	}
+	if obsNoiseVariance(0) <= 0 {
+		t.Fatal("zero floor must still give positive variance")
+	}
+}
+
+func TestSICRecoversMaskedTag(t *testing.T) {
+	// Two tags phase-aligned with a third clean one; with cancellation
+	// off vs on, the recovered stream count must not decrease.
+	ep := buildEpoch(t, 12, 400, defaultTag(100e3), defaultTag(100e3), defaultTag(100e3))
+	base := DefaultConfig(25e6, []float64{100e3}, 400)
+	base.CancellationRounds = 0
+	noSIC, err := Decode(ep.Capture, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSIC := DefaultConfig(25e6, []float64{100e3}, 400)
+	res, err := Decode(ep.Capture, withSIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Streams) < len(noSIC.Streams) {
+		t.Fatalf("SIC lost streams: %d vs %d", len(res.Streams), len(noSIC.Streams))
+	}
+	c1, total := score(ep, noSIC)
+	c2, _ := score(ep, res)
+	if c2 < c1 {
+		t.Fatalf("SIC reduced correct bits: %d vs %d of %d", c2, c1, total)
+	}
+}
+
+func TestEdgeOnlyStatesAlternate(t *testing.T) {
+	slots := []streams.SlotObs{
+		{Kind: streams.MatchClean},
+		{Kind: streams.MatchNone},
+		{Kind: streams.MatchClean},
+		{Kind: streams.MatchForeign},
+	}
+	states := edgeOnlyStates(slots)
+	bits := []byte{states[0].Bit(), states[1].Bit(), states[2].Bit(), states[3].Bit()}
+	want := []byte{1, 0, 1, 1}
+	for i := range bits {
+		if bits[i] != want[i] {
+			t.Fatalf("edge-only bits %v, want %v", bits, want)
+		}
+	}
+}
+
+func TestDecoderDeterministic(t *testing.T) {
+	ep := buildEpoch(t, 21, 200, defaultTag(100e3), defaultTag(100e3))
+	cfg := DefaultConfig(25e6, []float64{100e3}, 200)
+	a, err := Decode(ep.Capture, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decode(ep.Capture, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Streams) != len(b.Streams) {
+		t.Fatal("non-deterministic stream count")
+	}
+	for i := range a.Streams {
+		if len(a.Streams[i].Bits) != len(b.Streams[i].Bits) {
+			t.Fatal("non-deterministic decode length")
+		}
+		for k := range a.Streams[i].Bits {
+			if a.Streams[i].Bits[k] != b.Streams[i].Bits[k] {
+				t.Fatal("non-deterministic bits")
+			}
+		}
+	}
+}

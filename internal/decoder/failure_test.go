@@ -1,0 +1,162 @@
+package decoder
+
+// Failure-injection tests: the decoder must stay correct — or at least
+// sane — when the physics misbehaves.
+
+import (
+	"testing"
+
+	"lf/internal/channel"
+	"lf/internal/iq"
+	"lf/internal/reader"
+	"lf/internal/rng"
+	"lf/internal/tag"
+)
+
+// TestDriftAtToleranceLimit pins the paper's claim that decoding
+// tolerates ~200 ppm of tag clock drift: a long frame at +200 ppm must
+// still track and decode.
+func TestDriftAtToleranceLimit(t *testing.T) {
+	src := rng.New(1)
+	p := channel.DefaultParams()
+	geoms := channel.PlaceRing(1, 2, src.Split("place"))
+	ch := channel.NewModel(p, geoms, src.Split("noise"))
+	// Build the emission by hand so the drift is exactly +200 ppm.
+	tc := tag.Config{ID: 0, BitRate: 100e3, Comparator: tag.DefaultComparator(),
+		Payload: src.Bits(1500)}
+	em := tag.Emit(tc, src)
+	em.BitPeriod = (1 / tc.BitRate) * (1 + 200e-6)
+	// Re-derive the toggle times on the drifted grid.
+	em.Toggles = nil
+	state := byte(0)
+	for k, b := range em.Bits {
+		if b == 1 {
+			state ^= 1
+			em.Toggles = append(em.Toggles, tag.Toggle{Time: em.Start + float64(k)*em.BitPeriod, State: state})
+		}
+	}
+	if state == 1 {
+		em.Toggles = append(em.Toggles, tag.Toggle{Time: em.End(), State: 0})
+	}
+	epCfg := reader.EpochConfig{SampleRate: 25e6, EdgeSamples: 3, Duration: em.End() + 100e-6}
+	ep, err := reader.Synthesize(ch, []*tag.Emission{em}, epCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(ep.Capture, DefaultConfig(25e6, []float64{100e3}, 1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, total := score(ep, res)
+	if float64(c) < 0.99*float64(total) {
+		t.Fatalf("decoded %d/%d bits at 200 ppm drift", c, total)
+	}
+}
+
+// TestVeryLowSNRNoPanic: at near-zero SNR the decoder may fail to
+// register anything, but it must not panic and must not fabricate a
+// forest of streams.
+func TestVeryLowSNRNoPanic(t *testing.T) {
+	src := rng.New(2)
+	p := channel.DefaultParams()
+	p.NoiseSigma2 = 1e-5 // |h|²/σ² ≪ 1
+	geoms := channel.PlaceRing(2, 2, src.Split("place"))
+	ch := channel.NewModel(p, geoms, src.Split("noise"))
+	var emissions []*tag.Emission
+	for i := 0; i < 2; i++ {
+		tc := tag.Config{ID: i, BitRate: 100e3, Comparator: tag.DefaultComparator(),
+			Payload: src.Bits(100)}
+		emissions = append(emissions, tag.Emit(tc, src))
+	}
+	epCfg := reader.EpochConfig{SampleRate: 25e6, EdgeSamples: 3, Duration: 2e-3}
+	ep, err := reader.Synthesize(ch, emissions, epCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(ep.Capture, DefaultConfig(25e6, []float64{100e3}, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Streams) > 4 {
+		t.Fatalf("noise fabricated %d streams", len(res.Streams))
+	}
+}
+
+// TestCoefficientJumpMidEpoch: a coefficient step halfway through the
+// frame (someone walks through the path) breaks the stream's vector
+// assumptions for the second half. Registration must survive and the
+// first half must still decode.
+func TestCoefficientJumpMidEpoch(t *testing.T) {
+	src := rng.New(3)
+	p := channel.DefaultParams()
+	p.NoiseSigma2 = 0
+	h := complex(8e-4, -2e-4)
+	tc := tag.Config{ID: 0, BitRate: 100e3, Comparator: tag.DefaultComparator(),
+		Payload: src.Bits(600)}
+	em := tag.Emit(tc, src)
+	// Synthesize two halves with different coefficients and stitch.
+	mid := em.Start + 300*em.BitPeriod
+	chA := channel.NewModelFromCoeffs(p, []complex128{h}, nil)
+	chB := channel.NewModelFromCoeffs(p, []complex128{h * complex(0.7, 0.4)}, nil)
+	epCfg := reader.EpochConfig{SampleRate: 25e6, EdgeSamples: 3, Duration: em.End() + 100e-6}
+	epA, err := reader.Synthesize(chA, []*tag.Emission{em}, epCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := reader.Synthesize(chB, []*tag.Emission{em}, epCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	midIdx := int(mid * 25e6)
+	samples := make([]complex128, len(epA.Capture.Samples))
+	copy(samples, epA.Capture.Samples[:midIdx])
+	copy(samples[midIdx:], epB.Capture.Samples[midIdx:])
+	cap := &iq.Capture{SampleRate: 25e6, Samples: samples}
+	res, err := Decode(cap, DefaultConfig(25e6, []float64{100e3}, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Streams) == 0 {
+		t.Fatal("coefficient jump killed registration entirely")
+	}
+	// First-half payload bits must decode.
+	sr := res.Streams[0]
+	truth := em.Bits[tag.FrameOverhead:]
+	errs := 0
+	limit := 250
+	for k := 0; k < limit && k < len(sr.Bits); k++ {
+		if sr.Bits[k] != truth[k] {
+			errs++
+		}
+	}
+	if errs > limit/20 {
+		t.Fatalf("first half decoded with %d/%d errors", errs, limit)
+	}
+}
+
+// TestEmptyCaptureRejected: pathological inputs fail loudly.
+func TestEmptyCaptureRejected(t *testing.T) {
+	if _, err := Decode(&iq.Capture{SampleRate: 25e6}, DefaultConfig(25e6, []float64{100e3}, 10)); err == nil {
+		t.Fatal("empty capture accepted")
+	}
+}
+
+// TestSilentCaptureYieldsNothing: a capture with no tags at all (only
+// environment + noise) must produce zero streams.
+func TestSilentCaptureYieldsNothing(t *testing.T) {
+	src := rng.New(5)
+	p := channel.DefaultParams()
+	ch := channel.NewModelFromCoeffs(p, []complex128{0}, src)
+	epCfg := reader.EpochConfig{SampleRate: 25e6, EdgeSamples: 3, Duration: 2e-3}
+	ep, err := reader.Synthesize(ch, nil, epCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(ep.Capture, DefaultConfig(25e6, []float64{100e3}, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Streams) != 0 {
+		t.Fatalf("silence produced %d streams", len(res.Streams))
+	}
+}

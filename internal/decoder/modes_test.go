@@ -1,0 +1,99 @@
+package decoder
+
+import (
+	"testing"
+
+	"lf/internal/streams"
+	"lf/internal/tag"
+)
+
+// TestTrySplitOnPreambleRegistration exercises the merged-stream
+// splitter via the preamble-matcher registration path (the eye pass,
+// which handles merges regionally, is disabled): two tags on one grid
+// register as a single merged stream, and trySplit must break it
+// apart.
+func TestTrySplitOnPreambleRegistration(t *testing.T) {
+	comp := tag.DefaultComparator()
+	comp.CapacitorTolerance = 0
+	comp.EnergySpread = 0
+	comp.ChargeNoise = 0
+	a := tag.Config{BitRate: 100e3, Comparator: comp}
+	b := tag.Config{BitRate: 100e3, Comparator: comp}
+	ep := buildEpoch(t, 92, 300, a, b)
+	cfg := DefaultConfig(25e6, []float64{100e3}, 300)
+	cfg.Streams.Registration = streams.RegisterPreambleOnly
+	res, err := Decode(ep.Capture, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MergedSplits == 0 {
+		t.Fatalf("merged preamble registration was not split (streams=%d)", len(res.Streams))
+	}
+	c, total := score(ep, res)
+	if float64(c) < 0.9*float64(total) {
+		t.Fatalf("split decode %d/%d", c, total)
+	}
+}
+
+// TestSeparationModes runs the same collided capture through all three
+// collision-separation strategies; every mode must decode the bulk of
+// the bits, and anchored must match or beat blind on a short capture
+// (few lattice points).
+func TestSeparationModes(t *testing.T) {
+	ep := buildEpoch(t, 6, 300, defaultTag(100e3), defaultTag(100e3), defaultTag(100e3))
+	scores := map[SeparationMode]int{}
+	for _, mode := range []SeparationMode{SeparationHybrid, SeparationAnchored, SeparationBlind} {
+		cfg := DefaultConfig(25e6, []float64{100e3}, 300)
+		cfg.Separation = mode
+		res, err := Decode(ep.Capture, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, total := score(ep, res)
+		scores[mode] = c
+		if float64(c) < 0.7*float64(total) {
+			t.Fatalf("mode %d decoded %d/%d", mode, c, total)
+		}
+	}
+	if scores[SeparationHybrid] < scores[SeparationBlind] {
+		t.Fatalf("hybrid (%d) below pure blind (%d)", scores[SeparationHybrid], scores[SeparationBlind])
+	}
+}
+
+// TestRegistrationModesAgreeOnCleanScenario: with well-separated
+// phases, preamble and eye registration must find the same streams.
+func TestRegistrationModesAgreeOnCleanScenario(t *testing.T) {
+	ep := buildEpoch(t, 1, 300, defaultTag(100e3))
+	for _, mode := range []streams.RegistrationMode{
+		streams.RegisterEyeOnly, streams.RegisterPreambleOnly, streams.RegisterBoth,
+	} {
+		cfg := DefaultConfig(25e6, []float64{100e3}, 300)
+		cfg.Streams.Registration = mode
+		res, err := Decode(ep.Capture, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Streams) != 1 {
+			t.Fatalf("mode %d registered %d streams", mode, len(res.Streams))
+		}
+		c, total := score(ep, res)
+		if c != total {
+			t.Fatalf("mode %d decoded %d/%d", mode, c, total)
+		}
+	}
+}
+
+// TestCancellationRoundsBounded: extra SIC rounds terminate (no
+// infinite re-detection of the same streams).
+func TestCancellationRoundsBounded(t *testing.T) {
+	ep := buildEpoch(t, 4, 200, defaultTag(100e3), defaultTag(100e3))
+	cfg := DefaultConfig(25e6, []float64{100e3}, 200)
+	cfg.CancellationRounds = 10
+	res, err := Decode(ep.Capture, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Streams) > 4 {
+		t.Fatalf("SIC rounds fabricated %d streams for 2 tags", len(res.Streams))
+	}
+}

@@ -1,0 +1,181 @@
+package decoder
+
+import (
+	"math"
+
+	"lf/internal/dsp"
+	"lf/internal/iq"
+	"lf/internal/streams"
+	"lf/internal/viterbi"
+)
+
+// Successive interference cancellation (SIC). A tag that failed to
+// register — because its preamble collided, or its phase sat inside a
+// dense multi-tag chain — is invisible to the first decode pass, yet
+// its signal is still in the capture. Reconstructing every decoded
+// stream's waveform from its decoded edge states and subtracting it
+// from the raw samples leaves a residual in which the missed tags
+// stand nearly alone, so a second pass of the ordinary pipeline picks
+// them up. This is an engineering extension beyond the paper (which
+// cites SIC/ZigZag as related work); it is ablatable via
+// Config.CancellationRounds.
+
+// refineE re-estimates a stream's edge vector from its cleanly locked
+// slots: the registration estimate comes from a handful of early
+// edges, while the clean locks average over the whole frame — a
+// noticeably better subtraction vector.
+func refineE(sr *StreamResult) complex128 {
+	reg := sr.Stream.E
+	var sum complex128
+	count := 0
+	for k, slot := range sr.Slots {
+		if slot.Kind != streams.MatchClean || k >= len(sr.States) {
+			continue
+		}
+		switch sr.States[k] {
+		case viterbi.Up:
+			sum += slot.Obs
+			count++
+		case viterbi.Down:
+			sum -= slot.Obs
+			count++
+		}
+	}
+	if count < 8 {
+		return reg
+	}
+	return sum / complex(float64(count), 0)
+}
+
+// reconstruct renders one decoded stream's baseband contribution: a
+// ±E step at every decoded edge slot, ramped over rampSamples.
+func reconstruct(sr *StreamResult, n int, rampSamples int) []complex128 {
+	diff := make([]complex128, n+rampSamples+1)
+	e := refineE(sr)
+	for k, st := range sr.States {
+		if k >= len(sr.Slots) {
+			break
+		}
+		var delta complex128
+		switch st {
+		case viterbi.Up:
+			delta = e
+		case viterbi.Down:
+			delta = -e
+		default:
+			continue
+		}
+		// Centre the ramp on the slot position, as the synthesizer and
+		// detector do.
+		idx := sr.Slots[k].Pos - int64(rampSamples/2)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= int64(n) {
+			continue
+		}
+		step := delta / complex(float64(rampSamples), 0)
+		for r := 0; r < rampSamples; r++ {
+			diff[idx+int64(r)] += step
+		}
+	}
+	out := make([]complex128, n)
+	var acc complex128
+	for i := 0; i < n; i++ {
+		acc += diff[i]
+		out[i] = acc
+	}
+	return out
+}
+
+// cancelAndRetry subtracts all decoded streams from the capture and
+// runs one more pipeline pass over the residual, returning any newly
+// discovered streams (deduplicated against the existing set, and
+// required to carry at least a real edge's worth of signal — the
+// residue of an imperfectly cancelled stream otherwise re-registers
+// as a phantom). minE is derived from the original capture's noise
+// floor.
+func cancelAndRetry(capture *iq.Capture, results []*StreamResult, cfg Config, minE float64) []*StreamResult {
+	n := len(capture.Samples)
+	residual := make([]complex128, n)
+	copy(residual, capture.Samples)
+	ramp := int(cfg.Edge.Gap)
+	if ramp < 1 {
+		ramp = 3
+	}
+	for _, sr := range results {
+		// Only subtract trustworthy decodes: a mixture or mistracked
+		// stream would inject its errors into the residual.
+		if quality(sr) < 0.45 {
+			continue
+		}
+		contrib := reconstruct(sr, n, ramp)
+		for i := range residual {
+			residual[i] -= contrib[i]
+		}
+	}
+	resCap := &iq.Capture{SampleRate: capture.SampleRate, Samples: residual}
+	sub := cfg
+	sub.CancellationRounds = 0
+	res2, err := Decode(resCap, sub)
+	if err != nil {
+		return nil
+	}
+	var fresh []*StreamResult
+	for _, nr := range res2.Streams {
+		if dsp.Abs(nr.Stream.E) < minE {
+			continue // cancellation residue, not a tag
+		}
+		if isDuplicateStream(nr, results, cfg) {
+			continue
+		}
+		nr.Recovered = true
+		fresh = append(fresh, nr)
+	}
+	return fresh
+}
+
+// isDuplicateStream reports whether a residual-pass stream re-detects
+// an already decoded one: same rate, grid phase within a collision
+// window, and a matching (±) vector.
+func isDuplicateStream(nr *StreamResult, existing []*StreamResult, cfg Config) bool {
+	period := cfg.Streams.SampleRate / nr.Stream.Rate
+	for _, sr := range existing {
+		if sr.Stream.Rate != nr.Stream.Rate {
+			continue
+		}
+		dph := math.Mod(math.Abs(sr.Stream.Offset-nr.Stream.Offset), period)
+		if dph > period/2 {
+			dph = period - dph
+		}
+		if dph > float64(cfg.Edge.CoalesceDist) {
+			continue
+		}
+		scale := math.Max(dsp.Abs(sr.Stream.E), dsp.Abs(nr.Stream.E))
+		if dsp.Dist(sr.Stream.E, nr.Stream.E) < 0.5*scale ||
+			dsp.Dist(sr.Stream.E, -nr.Stream.E) < 0.5*scale {
+			return true
+		}
+	}
+	return false
+}
+
+// quality scores a decoded stream for SIC reliability: the fraction of
+// clean walker locks among slots that decoded as edges. Mixture
+// decodes (wrong vector, wrong grid) lock rarely and score low.
+func quality(sr *StreamResult) float64 {
+	edges, locks := 0, 0
+	for k, st := range sr.States {
+		if st != viterbi.Up && st != viterbi.Down {
+			continue
+		}
+		edges++
+		if k < len(sr.Slots) && sr.Slots[k].Kind == streams.MatchClean {
+			locks++
+		}
+	}
+	if edges == 0 {
+		return 0
+	}
+	return float64(locks) / float64(edges)
+}

@@ -1,0 +1,120 @@
+package decoder
+
+import (
+	"lf/internal/cluster"
+	"lf/internal/collide"
+	"lf/internal/dsp"
+	"lf/internal/edgedetect"
+	"lf/internal/rng"
+	"lf/internal/streams"
+)
+
+// Fully merged streams: when two tags draw start offsets that coincide
+// on the slot grid (within the edge width), every early edge collides
+// and registration sees a single stream whose preamble vector is the
+// *sum* E = e₁+e₂ (Fig. 3 bottom: "two tags start at the same time
+// frame"). The tell is in the payload observations: instead of the
+// three clusters {+E, −E, 0} of a lone tag, the slot differentials
+// populate the nine-point lattice a·e₁+b·e₂ — and, once the two tags'
+// crystals drift apart, the pure-edge clusters ±e₁ and ±e₂ directly.
+//
+// trySplit detects that structure, recovers the two edge vectors
+// blindly (parallelogram first, antipodal-pair fallback), and re-walks
+// the slot grid once per constituent. The still-merged early slots
+// then surface as ordinary two-stream collisions and are separated by
+// the ordinary pair machinery.
+
+// cleanFraction returns the fraction of slot observations consistent
+// with a lone tag: within tol of +E, −E, or 0.
+func cleanFraction(slots []streams.SlotObs, e complex128, tol float64) float64 {
+	if len(slots) == 0 {
+		return 1
+	}
+	clean := 0
+	for _, s := range slots {
+		if dsp.Dist(s.Obs, e) <= tol || dsp.Dist(s.Obs, -e) <= tol || dsp.Abs(s.Obs) <= tol {
+			clean++
+		}
+	}
+	return float64(clean) / float64(len(slots))
+}
+
+// trySplit tests whether sr is a fully merged two-tag stream and, if
+// so, returns the second constituent as a new StreamResult while
+// rewriting sr in place to be the first. Both constituents are
+// re-walked against the detector with their own edge vectors. The
+// returned bool reports whether a split happened.
+func trySplit(sr *StreamResult, det *edgedetect.Detector, cfg Config, src *rng.Source) (*StreamResult, bool) {
+	// Eye-registered streams already went through regional
+	// multi-generator analysis; re-splitting them would only act on
+	// residual contamination. Only preamble-matched registrations can
+	// still hide a merged pair.
+	if sr.Stream.Source != streams.SourcePreamble {
+		return nil, false
+	}
+	slots := sr.Slots
+	if len(slots) < 24 {
+		return nil, false
+	}
+	eReg := sr.Stream.E
+	tol := 0.35 * dsp.Abs(eReg)
+	// A lone tag explains ≥ ~95% of its slots; a merged pair only
+	// about half.
+	if cleanFraction(slots, eReg, tol) > 0.7 {
+		return nil, false
+	}
+	points := make([]complex128, len(slots))
+	for i, s := range slots {
+		points[i] = s.Obs
+	}
+	km := cluster.KMeans(points, 9, 6, 100, src)
+	e1, e2, err := collide.Parallelogram(km.Centroids)
+	if err != nil {
+		e1, e2, err = collide.RecoverAntipodal(km.Centroids, km.Counts())
+		if err != nil {
+			return nil, false
+		}
+	}
+	// Lattice consistency with the merged anchor: during the preamble
+	// both constituents toggled together, so ±e₁±e₂ must reproduce the
+	// registered vector for some sign choice.
+	bestRes := -1.0
+	for _, s1 := range []float64{1, -1} {
+		for _, s2 := range []float64{1, -1} {
+			r := dsp.Dist(complex(s1, 0)*e1+complex(s2, 0)*e2, eReg)
+			if bestRes < 0 || r < bestRes {
+				bestRes = r
+			}
+		}
+	}
+	if bestRes > 0.5*dsp.Abs(eReg) {
+		return nil, false
+	}
+
+	// Re-walk each constituent with its own vector and its own anchor
+	// (the constituents' comparator delays differ by whole slots even
+	// when their grid phases coincide). Sign conventions do not matter
+	// for toggle-on-1 bits.
+	numSlots := len(slots)
+	stA := *sr.Stream
+	stA.Source = streams.SourceSplit
+	stA.E = e1
+	if a := streams.AnchorFor(det.Edges(), sr.Stream.Offset, sr.Stream.Period, e1, cfg.Streams); a >= 0 {
+		stA.Offset = a
+	}
+	stB := *sr.Stream
+	stB.Source = streams.SourceSplit
+	stB.E = e2
+	if a := streams.AnchorFor(det.Edges(), sr.Stream.Offset, sr.Stream.Period, e2, cfg.Streams); a >= 0 {
+		stB.Offset = a
+	}
+	sr.Stream = &stA
+	sr.Slots = streams.Walk(&stA, det, cfg.Streams, numSlots)
+	sr.BlindSeparated = true
+	other := &StreamResult{
+		Stream:         &stB,
+		Slots:          streams.Walk(&stB, det, cfg.Streams, numSlots),
+		BlindSeparated: true,
+	}
+	return other, true
+}

@@ -1,0 +1,294 @@
+// Package edgedetect implements reliable signal-edge extraction from
+// the reader's IQ capture (§3.1). Amplitude-only edge detection is
+// brittle when many tags chatter in the background, so edges are
+// detected on the IQ *differential* ΔS(t) = S(t⁺) − S(t⁻): subtracting
+// the received vector after and before a candidate edge cancels the
+// contribution of every tag that did not toggle there.
+package edgedetect
+
+import (
+	"fmt"
+
+	"lf/internal/dsp"
+	"lf/internal/iq"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// Gap is the number of samples skipped on each side of a candidate
+	// edge before averaging starts; it should cover the edge
+	// transition itself (the reader's ~3-sample ramp).
+	Gap int64
+	// Win is the number of samples averaged on each side for the
+	// initial detection sweep. Kept small so that neighbouring tags'
+	// edges rarely fall inside the window; the refinement pass then
+	// widens windows adaptively up to the actual neighbouring edges,
+	// which is the paper's "use the points between the previous edge
+	// and the current edge" averaging.
+	Win int64
+	// MaxWin caps the refinement window width.
+	MaxWin int64
+	// ThresholdFactor scales the noise floor (median differential
+	// magnitude) into the peak detection threshold.
+	ThresholdFactor float64
+	// MinSpacing is the non-maximum-suppression radius in samples;
+	// edges closer than this merge into one (collided) edge.
+	MinSpacing int64
+	// CoalesceDist groups detected peaks closer than this many samples
+	// into a single collided edge whose differential is measured with
+	// windows outside the whole group. Peaks nearer than ~2·Gap+Win
+	// cannot be measured independently anyway — each one's averaging
+	// window overlaps the other's transition ramp, biasing both
+	// differentials — so treating them as one collision (and letting
+	// the IQ lattice machinery separate the contributions) is both
+	// cleaner and faithful to the paper's collision model.
+	CoalesceDist int64
+}
+
+// DefaultConfig returns detector settings matched to the default reader
+// (25 Msps, 3-sample edges).
+func DefaultConfig() Config {
+	return Config{
+		Gap:             2,
+		Win:             3,
+		MaxWin:          32,
+		ThresholdFactor: 4.0,
+		MinSpacing:      5,
+		CoalesceDist:    10,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Gap < 1 || c.Win < 1 || c.MaxWin < c.Win || c.MinSpacing < 1 {
+		return fmt.Errorf("edgedetect: invalid config %+v", c)
+	}
+	if c.ThresholdFactor <= 1 {
+		return fmt.Errorf("edgedetect: threshold factor %v must exceed 1", c.ThresholdFactor)
+	}
+	return nil
+}
+
+// Edge is one detected signal edge (possibly a coalesced group of
+// transitions too close to measure independently).
+type Edge struct {
+	// Pos is the sample index of the edge centre (strength-weighted
+	// over the group when coalesced).
+	Pos int64
+	// Diff is the refined IQ differential across the edge. For a
+	// single tag toggling, Diff ≈ ±h (the tag's channel coefficient);
+	// for k colliding tags it is a ±-combination of their
+	// coefficients.
+	Diff complex128
+	// Strength is |Diff|.
+	Strength float64
+	// First and Last bound the underlying peak group; Last−First is 0
+	// for a lone transition.
+	First, Last int64
+	// Peaks is the number of underlying detector peaks (≥2 suggests a
+	// collision even before IQ analysis).
+	Peaks int
+}
+
+// Detector detects edges over one capture and provides differential
+// measurement at arbitrary positions (used later by the Viterbi stage
+// to take soft observations at slots where no edge was detected).
+type Detector struct {
+	cfg    Config
+	prefix *dsp.Prefix
+	floor  float64
+	edges  []Edge
+}
+
+// New builds a detector over a capture and runs detection. The capture
+// must be non-empty.
+func New(capture *iq.Capture, cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := capture.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Detector{cfg: cfg, prefix: dsp.NewPrefix(capture.Samples)}
+	mag := d.prefix.DifferentialSeries(cfg.Gap, cfg.Win)
+	// Positions whose averaging windows fall off the capture compare a
+	// clamped (empty) window against signal and read as huge phantom
+	// edges; blank the margins.
+	margin := int(cfg.Gap + cfg.Win)
+	for i := 0; i < margin && i < len(mag); i++ {
+		mag[i] = 0
+		mag[len(mag)-1-i] = 0
+	}
+	d.floor = dsp.NoiseFloor(mag)
+	threshold := d.floor * cfg.ThresholdFactor
+	// Guard against a (near-)noiseless capture: the median floor is ~0
+	// there and numerical dust would detect as edges. Any real edge is
+	// within a factor ~20 of the strongest one (coalesced sums above,
+	// the weakest tag below), so a small fraction of the maximum is a
+	// safe absolute lower bound.
+	var maxMag float64
+	for _, v := range mag {
+		if v > maxMag {
+			maxMag = v
+		}
+	}
+	if min := 0.05 * maxMag; threshold < min {
+		threshold = min
+	}
+	peaks := dsp.FindPeaks(mag, threshold, cfg.MinSpacing)
+	centroidPeaks(mag, peaks, cfg.Gap, d.floor)
+	d.edges = d.refine(coalesce(peaks, cfg.CoalesceDist))
+	return d, nil
+}
+
+// group is a run of peaks closer than CoalesceDist.
+type group struct {
+	first, last int64
+	pos         int64 // strength-weighted centre
+	peaks       int
+}
+
+// coalesce merges peaks into groups.
+func coalesce(peaks []dsp.Peak, dist int64) []group {
+	var groups []group
+	for i := 0; i < len(peaks); {
+		j := i
+		for j+1 < len(peaks) && peaks[j+1].Pos-peaks[j].Pos < dist {
+			j++
+		}
+		var wsum, psum float64
+		for k := i; k <= j; k++ {
+			wsum += peaks[k].Value
+			psum += peaks[k].Value * float64(peaks[k].Pos)
+		}
+		g := group{first: peaks[i].Pos, last: peaks[j].Pos, peaks: j - i + 1}
+		if wsum > 0 {
+			g.pos = int64(psum/wsum + 0.5)
+		} else {
+			g.pos = (g.first + g.last) / 2
+		}
+		groups = append(groups, g)
+		i = j + 1
+	}
+	return groups
+}
+
+// centroidPeaks refines each peak position to the floor-subtracted
+// magnitude centroid of its plateau. The differential magnitude is
+// flat for ~±Gap samples around the true edge centre (both averaging
+// windows clear the ramp anywhere on the plateau), so the raw argmax
+// jitters by a few samples under noise; the centroid is far steadier,
+// which matters downstream — the stream walker's period tracking feeds
+// on these positions.
+func centroidPeaks(mag []float64, peaks []dsp.Peak, gap int64, floor float64) {
+	n := int64(len(mag))
+	for pi := range peaks {
+		p := &peaks[pi]
+		var wsum, psum float64
+		span := gap + 2
+		for off := -span; off <= span; off++ {
+			i := p.Pos + off
+			if i < 0 || i >= n {
+				continue
+			}
+			w := mag[i] - floor
+			if w <= 0 {
+				continue
+			}
+			wsum += w
+			psum += w * float64(i)
+		}
+		if wsum > 0 {
+			p.Pos = int64(psum/wsum + 0.5)
+		}
+	}
+}
+
+// refine computes each edge group's differential with windows that
+// start outside the group's extent and extend up to (but not into) the
+// neighbouring groups, averaging over as many clean samples as
+// available on each side — the paper's "points between the previous
+// edge and the current edge" averaging.
+func (d *Detector) refine(groups []group) []Edge {
+	edges := make([]Edge, 0, len(groups))
+	for i, g := range groups {
+		before := d.cfg.MaxWin
+		after := d.cfg.MaxWin
+		if i > 0 {
+			gapToPrev := g.first - groups[i-1].last - 2*d.cfg.Gap
+			if gapToPrev < before {
+				before = gapToPrev
+			}
+		}
+		if i+1 < len(groups) {
+			gapToNext := groups[i+1].first - g.last - 2*d.cfg.Gap
+			if gapToNext < after {
+				after = gapToNext
+			}
+		}
+		if before < 1 {
+			before = 1
+		}
+		if after < 1 {
+			after = 1
+		}
+		a := d.prefix.Mean(g.last+d.cfg.Gap, g.last+d.cfg.Gap+after)
+		b := d.prefix.Mean(g.first-d.cfg.Gap-before, g.first-d.cfg.Gap)
+		diff := a - b
+		edges = append(edges, Edge{
+			Pos: g.pos, Diff: diff, Strength: dsp.Abs(diff),
+			First: g.first, Last: g.last, Peaks: g.peaks,
+		})
+	}
+	return edges
+}
+
+// Edges returns the detected edges in increasing position.
+func (d *Detector) Edges() []Edge { return d.edges }
+
+// NoiseFloor returns the estimated background differential magnitude.
+func (d *Detector) NoiseFloor() float64 { return d.floor }
+
+// MeasureAt returns the IQ differential at an arbitrary sample position
+// using the default windows — the soft observation for slots where no
+// edge was detected.
+func (d *Detector) MeasureAt(pos int64) complex128 {
+	return d.prefix.Differential(pos, d.cfg.Gap, d.cfg.Win)
+}
+
+// MeasureAtClean is like MeasureAt but with wider windows, for slots
+// known to be far from other activity.
+func (d *Detector) MeasureAtClean(pos int64) complex128 {
+	a := d.prefix.Mean(pos+d.cfg.Gap, pos+d.cfg.Gap+d.cfg.MaxWin)
+	b := d.prefix.Mean(pos-d.cfg.Gap-d.cfg.MaxWin, pos-d.cfg.Gap)
+	return a - b
+}
+
+// NearestEdge returns the index of the edge closest to pos within
+// maxDist, or -1. Edges are sorted by position so this is a binary
+// search.
+func (d *Detector) NearestEdge(pos, maxDist int64) int {
+	lo, hi := 0, len(d.edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.edges[mid].Pos < pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	best, bestDist := -1, maxDist+1
+	for _, i := range []int{lo - 1, lo} {
+		if i < 0 || i >= len(d.edges) {
+			continue
+		}
+		dist := d.edges[i].Pos - pos
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist < bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	return best
+}

@@ -1,0 +1,167 @@
+// Package epc implements the EPC Gen 2 essentials the system needs:
+// 96-bit EPC identifiers, the Gen 2 CRC-5 and CRC-16 checks, and bit
+// (de)serialization. The TDMA baseline transmits EPCs in Gen 2-style
+// slots; the LF-Backscatter identification protocol of §5.2 transmits
+// the same 96-bit EPC + 5-bit CRC per epoch.
+package epc
+
+import (
+	"fmt"
+
+	"lf/internal/rng"
+)
+
+// IDBits is the EPC identifier length in bits.
+const IDBits = 96
+
+// CRC5Bits is the Gen 2 CRC-5 length.
+const CRC5Bits = 5
+
+// FrameBits is the identification frame length: EPC + CRC-5.
+const FrameBits = IDBits + CRC5Bits
+
+// ID is a 96-bit EPC identifier, most significant byte first.
+type ID [12]byte
+
+// Random returns a uniformly random EPC.
+func Random(src *rng.Source) ID {
+	var id ID
+	for i := range id {
+		v := byte(0)
+		for b := 0; b < 8; b++ {
+			v = v<<1 | src.Bit()
+		}
+		id[i] = v
+	}
+	return id
+}
+
+// String formats the EPC as hex.
+func (id ID) String() string {
+	return fmt.Sprintf("%02x%02x%02x%02x%02x%02x%02x%02x%02x%02x%02x%02x",
+		id[0], id[1], id[2], id[3], id[4], id[5], id[6], id[7], id[8], id[9], id[10], id[11])
+}
+
+// Bits returns the identifier as 96 bits, MSB first.
+func (id ID) Bits() []byte {
+	bits := make([]byte, 0, IDBits)
+	for _, by := range id {
+		for b := 7; b >= 0; b-- {
+			bits = append(bits, (by>>uint(b))&1)
+		}
+	}
+	return bits
+}
+
+// FromBits reconstructs an ID from 96 bits, MSB first.
+func FromBits(bits []byte) (ID, error) {
+	var id ID
+	if len(bits) != IDBits {
+		return id, fmt.Errorf("epc: need %d bits, got %d", IDBits, len(bits))
+	}
+	for i := 0; i < 12; i++ {
+		var v byte
+		for b := 0; b < 8; b++ {
+			v = v<<1 | (bits[i*8+b] & 1)
+		}
+		id[i] = v
+	}
+	return id, nil
+}
+
+// CRC5 computes the Gen 2 CRC-5 over a bit sequence (MSB first):
+// polynomial x⁵+x³+1, preset 01001₂. The result is returned as 5 bits.
+func CRC5(bits []byte) []byte {
+	reg := byte(0x09) // preset 01001
+	for _, bit := range bits {
+		msb := (reg >> 4) & 1
+		fb := msb ^ (bit & 1)
+		reg = (reg << 1) & 0x1f
+		if fb == 1 {
+			reg ^= 0x09 // x⁵+x³+1 → taps at bits 3 and 0
+		}
+	}
+	out := make([]byte, CRC5Bits)
+	for i := 0; i < CRC5Bits; i++ {
+		out[i] = (reg >> uint(CRC5Bits-1-i)) & 1
+	}
+	return out
+}
+
+// CheckCRC5 verifies that the trailing 5 bits of frame are the CRC-5
+// of the leading bits.
+func CheckCRC5(frame []byte) bool {
+	if len(frame) <= CRC5Bits {
+		return false
+	}
+	data := frame[:len(frame)-CRC5Bits]
+	crc := CRC5(data)
+	for i, b := range frame[len(frame)-CRC5Bits:] {
+		if b != crc[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Frame returns the identification frame: the EPC bits followed by
+// their CRC-5.
+func (id ID) Frame() []byte {
+	bits := id.Bits()
+	return append(bits, CRC5(bits)...)
+}
+
+// ParseFrame validates the CRC and extracts the ID from a 101-bit
+// identification frame.
+func ParseFrame(frame []byte) (ID, bool) {
+	if len(frame) != FrameBits || !CheckCRC5(frame) {
+		return ID{}, false
+	}
+	id, err := FromBits(frame[:IDBits])
+	if err != nil {
+		return ID{}, false
+	}
+	return id, true
+}
+
+// CRC16 computes the Gen 2 / ISO 13239 CRC-16 over a bit sequence (MSB
+// first): polynomial x¹⁶+x¹²+x⁵+1 (0x1021), preset 0xFFFF, output
+// complemented.
+func CRC16(bits []byte) uint16 {
+	reg := uint16(0xFFFF)
+	for _, bit := range bits {
+		msb := (reg >> 15) & 1
+		fb := msb ^ uint16(bit&1)
+		reg <<= 1
+		if fb == 1 {
+			reg ^= 0x1021
+		}
+	}
+	return ^reg
+}
+
+// CRC16Bits returns the CRC-16 as 16 bits, MSB first.
+func CRC16Bits(bits []byte) []byte {
+	crc := CRC16(bits)
+	out := make([]byte, 16)
+	for i := 0; i < 16; i++ {
+		out[i] = byte((crc >> uint(15-i)) & 1)
+	}
+	return out
+}
+
+// CheckCRC16 verifies a message whose trailing 16 bits are the CRC-16
+// of the leading bits.
+func CheckCRC16(frame []byte) bool {
+	if len(frame) <= 16 {
+		return false
+	}
+	data := frame[:len(frame)-16]
+	crc := CRC16Bits(data)
+	for i, b := range frame[len(frame)-16:] {
+		if b != crc[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,159 @@
+package epc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lf/internal/rng"
+)
+
+func TestIDBitsRoundTrip(t *testing.T) {
+	src := rng.New(1)
+	for i := 0; i < 50; i++ {
+		id := Random(src)
+		back, err := FromBits(id.Bits())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != id {
+			t.Fatalf("roundtrip %v -> %v", id, back)
+		}
+	}
+}
+
+func TestFromBitsLength(t *testing.T) {
+	if _, err := FromBits(make([]byte, 95)); err == nil {
+		t.Fatal("short bit slice accepted")
+	}
+}
+
+func TestBitsMSBFirst(t *testing.T) {
+	id := ID{0x80} // 1000 0000 ...
+	bits := id.Bits()
+	if bits[0] != 1 {
+		t.Fatal("MSB should come first")
+	}
+	for i := 1; i < 16; i++ {
+		if bits[i] != 0 {
+			t.Fatalf("bit %d = %d", i, bits[i])
+		}
+	}
+}
+
+func TestCRC5KnownProperties(t *testing.T) {
+	// Appending the CRC makes the frame verify; flipping any single bit
+	// breaks it.
+	src := rng.New(2)
+	data := src.Bits(96)
+	frame := append(append([]byte{}, data...), CRC5(data)...)
+	if !CheckCRC5(frame) {
+		t.Fatal("fresh CRC-5 frame failed its own check")
+	}
+	for i := range frame {
+		frame[i] ^= 1
+		if CheckCRC5(frame) {
+			t.Fatalf("single-bit error at %d undetected by CRC-5", i)
+		}
+		frame[i] ^= 1
+	}
+}
+
+func TestCRC5Deterministic(t *testing.T) {
+	a := CRC5([]byte{1, 0, 1, 1, 0})
+	b := CRC5([]byte{1, 0, 1, 1, 0})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("CRC-5 not deterministic")
+		}
+	}
+	c := CRC5([]byte{1, 0, 1, 1, 1})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different messages share a CRC-5 (suspicious for adjacent inputs)")
+	}
+}
+
+func TestFrameParse(t *testing.T) {
+	src := rng.New(3)
+	id := Random(src)
+	frame := id.Frame()
+	if len(frame) != FrameBits {
+		t.Fatalf("frame length %d", len(frame))
+	}
+	got, ok := ParseFrame(frame)
+	if !ok || got != id {
+		t.Fatalf("ParseFrame = %v, %v", got, ok)
+	}
+	// Corrupt a payload bit: parse must fail.
+	frame[10] ^= 1
+	if _, ok := ParseFrame(frame); ok {
+		t.Fatal("corrupted frame accepted")
+	}
+	if _, ok := ParseFrame(frame[:50]); ok {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestCRC16DetectsErrors(t *testing.T) {
+	src := rng.New(4)
+	f := func(n uint8, flip uint16) bool {
+		length := int(n%120) + 17
+		data := src.Bits(length)
+		frame := append(append([]byte{}, data...), CRC16Bits(data)...)
+		if !CheckCRC16(frame) {
+			return false
+		}
+		frame[int(flip)%len(frame)] ^= 1
+		return !CheckCRC16(frame)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// ISO 13239 / Gen 2 CRC-16 of the ASCII digits "123456789"
+	// (bit-reversed-per-byte conventions differ; this implementation is
+	// MSB-first per bit, preset 0xFFFF, complemented — the standard
+	// "CRC-16/GENIBUS" check value for "123456789" is 0xD64E).
+	var bits []byte
+	for _, c := range []byte("123456789") {
+		for b := 7; b >= 0; b-- {
+			bits = append(bits, (c>>uint(b))&1)
+		}
+	}
+	if got := CRC16(bits); got != 0xD64E {
+		t.Fatalf("CRC16(123456789) = %#04x, want 0xd64e", got)
+	}
+}
+
+func TestCheckCRC5TooShort(t *testing.T) {
+	if CheckCRC5([]byte{1, 0, 1}) {
+		t.Fatal("too-short frame accepted")
+	}
+}
+
+func TestRandomIDsDistinct(t *testing.T) {
+	src := rng.New(5)
+	seen := map[ID]bool{}
+	for i := 0; i < 100; i++ {
+		id := Random(src)
+		if seen[id] {
+			t.Fatal("duplicate random EPC")
+		}
+		seen[id] = true
+	}
+}
+
+func TestIDString(t *testing.T) {
+	id := ID{0xde, 0xad, 0xbe, 0xef}
+	s := id.String()
+	if len(s) != 24 || s[:8] != "deadbeef" {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,295 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"lf/internal/channel"
+	"lf/internal/collide"
+	"lf/internal/decoder"
+	"lf/internal/dsp"
+	"lf/internal/reader"
+	"lf/internal/rng"
+	"lf/internal/stats"
+	"lf/internal/tag"
+)
+
+// deterministicComparator fires at the same instant on every tag —
+// used to force full-frame collisions for the Table 2 study.
+func deterministicComparator() tag.Comparator {
+	c := tag.DefaultComparator()
+	c.CapacitorTolerance = 0
+	c.EnergySpread = 0
+	c.ChargeNoise = 0
+	return c
+}
+
+// forcedCollision builds one epoch in which tags 0 and 1 collide on
+// every edge (identical comparator delay, zero clock drift) while
+// background tags (if any) chatter normally.
+func forcedCollision(bitRate float64, payload int, background int, src *rng.Source) (*reader.Epoch, error) {
+	nTags := 2 + background
+	params := channel.DefaultParams()
+	geoms := channel.PlaceRing(nTags, 2, src.Split("placement"))
+	ch := channel.NewModel(params, geoms, src.Split("noise"))
+	var emissions []*tag.Emission
+	for i := 0; i < 2; i++ {
+		tc := tag.Config{
+			ID:         i,
+			BitRate:    bitRate,
+			Comparator: deterministicComparator(),
+			Payload:    src.Bits(payload),
+		}
+		emissions = append(emissions, tag.Emit(tc, src))
+	}
+	for i := 2; i < nTags; i++ {
+		tc := tag.Config{
+			ID:         i,
+			BitRate:    100e3,
+			ClockPPM:   150,
+			Comparator: tag.DefaultComparator(),
+			Payload:    src.Bits(int(100e3 * float64(payload) / bitRate)),
+		}
+		emissions = append(emissions, tag.Emit(tc, src))
+	}
+	longest := 0.0
+	for _, em := range emissions {
+		if em.End() > longest {
+			longest = em.End()
+		}
+	}
+	epochCfg := reader.EpochConfig{SampleRate: 25e6, EdgeSamples: 3, Duration: longest + 100e-6}
+	return reader.Synthesize(ch, emissions, epochCfg)
+}
+
+// collisionAccuracy decodes a forced-collision epoch and returns the
+// fraction of the two colliding tags' payload bits recovered.
+func collisionAccuracy(ep *reader.Epoch, bitRate float64, payload int, seed int64) (float64, error) {
+	rates := map[float64]bool{bitRate: true, 100e3: true}
+	var rateList []float64
+	for r := range rates {
+		rateList = append(rateList, r)
+	}
+	dcfg := decoder.DefaultConfig(25e6, rateList, payload)
+	dcfg.PayloadBits = func(rate float64) int {
+		return int(math.Round(float64(payload) * rate / bitRate))
+	}
+	dcfg.Seed = seed
+	res, err := decoder.Decode(ep.Capture, dcfg)
+	if err != nil {
+		return 0, err
+	}
+	// Score each colliding tag against its best-matching stream by
+	// content (the merged pair shares a grid, so offsets are ambiguous).
+	correct := 0
+	total := 0
+	used := make(map[int]bool)
+	for ti := 0; ti < 2; ti++ {
+		truth := ep.Emissions[ti].Bits[tag.FrameOverhead:]
+		total += len(truth)
+		bestErrs, bestIdx := len(truth), -1
+		for si, sr := range res.Streams {
+			if used[si] {
+				continue
+			}
+			for shift := -2; shift <= 2; shift++ {
+				errs := shiftErrs(sr.Bits, truth, shift)
+				if errs < bestErrs {
+					bestErrs, bestIdx = errs, si
+				}
+			}
+		}
+		if bestIdx >= 0 {
+			used[bestIdx] = true
+		}
+		correct += len(truth) - bestErrs
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(correct) / float64(total), nil
+}
+
+func shiftErrs(decoded, truth []byte, shift int) int {
+	errs := 0
+	n := 0
+	for i := range decoded {
+		j := i + shift
+		if j < 0 || j >= len(truth) {
+			continue
+		}
+		n++
+		if decoded[i] != truth[j] {
+			errs++
+		}
+	}
+	errs += len(truth) - n
+	if errs > len(truth) {
+		errs = len(truth)
+	}
+	return errs
+}
+
+// Table2 reproduces the collision-separation accuracy study: two tags
+// whose edges all collide, decoded (a) at 100 kbps with 14 background
+// chatterers, (b) at 100 kbps alone, (c) at 10 kbps alone.
+func Table2(cfg Config) (*Result, error) {
+	cases := []struct {
+		label      string
+		bitRate    float64
+		background int
+	}{
+		{"100 Kbps with background nodes", 100e3, 14},
+		{"100 Kbps w/o background nodes", 100e3, 0},
+		{"10 Kbps w/o background nodes", 10e3, 0},
+	}
+	payload := 400
+	trials := cfg.Epochs
+	if cfg.Quick {
+		payload = 150
+		trials = 1
+	}
+	table := &stats.Table{
+		Title:  "Table 2 — separating edge collisions with IQ-based classification",
+		Header: []string{"setting", "accuracy"},
+	}
+	for ci, c := range cases {
+		var acc float64
+		for t := 0; t < trials; t++ {
+			src := rng.New(cfg.Seed + int64(ci*97+t))
+			p := payload
+			if c.bitRate < 50e3 {
+				p = payload / 4 // keep captures bounded at slow rates
+			}
+			ep, err := forcedCollision(c.bitRate, p, c.background, src)
+			if err != nil {
+				return nil, err
+			}
+			a, err := collisionAccuracy(ep, c.bitRate, p, cfg.Seed+int64(t))
+			if err != nil {
+				return nil, err
+			}
+			acc += a
+		}
+		table.AddRow(c.label, fmt.Sprintf("%.2f%%", 100*acc/float64(trials)))
+	}
+	return &Result{Table: table}, nil
+}
+
+// Fig2 reproduces the IQ constellation scalability study: the number
+// of joint-state clusters doubles per tag, so nearest-cluster decoding
+// degrades rapidly — 2 tags are separable, 6 are not (§2.3).
+func Fig2(cfg Config) (*Result, error) {
+	table := &stats.Table{
+		Title:  "Fig. 2 — IQ cluster separability vs concurrent tags",
+		Header: []string{"tags", "clusters", "min separation / noise", "state accuracy"},
+	}
+	src := rng.New(cfg.Seed)
+	noiseSigma := 6e-5
+	for _, n := range []int{2, 4, 6} {
+		coeffs := randomCoeffs(n, src.Split(fmt.Sprint("fig2", n)))
+		// All 2^n ideal cluster centres.
+		centres := make([]complex128, 1<<uint(n))
+		for s := range centres {
+			var v complex128
+			for j := 0; j < n; j++ {
+				if s>>uint(j)&1 == 1 {
+					v += coeffs[j]
+				}
+			}
+			centres[s] = v
+		}
+		minSep := math.Inf(1)
+		for i := range centres {
+			for j := i + 1; j < len(centres); j++ {
+				if d := dsp.Dist(centres[i], centres[j]); d < minSep {
+					minSep = d
+				}
+			}
+		}
+		// Monte-Carlo state recovery by nearest cluster.
+		trials := 2000
+		if cfg.Quick {
+			trials = 400
+		}
+		correct := 0
+		mc := src.Split(fmt.Sprint("mc", n))
+		for t := 0; t < trials; t++ {
+			s := mc.Intn(len(centres))
+			obs := centres[s] + mc.ComplexNorm(noiseSigma*noiseSigma)
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centres {
+				if d := dsp.Dist(obs, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if best == s {
+				correct++
+			}
+		}
+		table.AddRow(fmt.Sprint(n), fmt.Sprint(len(centres)),
+			fmt.Sprintf("%.1f", minSep/noiseSigma),
+			fmt.Sprintf("%.1f%%", 100*float64(correct)/float64(trials)))
+	}
+	return &Result{Table: table}, nil
+}
+
+// Fig5 demonstrates the nine-cluster parallelogram of two colliding
+// edges and the blind recovery of the two edge vectors from it.
+func Fig5(cfg Config) (*Result, error) {
+	src := rng.New(cfg.Seed)
+	e1 := complex(4.1e-4, 5.3e-4)
+	e2 := complex(-5.6e-4, 2.2e-4)
+	noise := 4e-5
+	points := make([]complex128, 0, 360)
+	truth := make([][2]collide.State, 0, 360)
+	n := 360
+	if cfg.Quick {
+		n = 120
+	}
+	for i := 0; i < n; i++ {
+		a := collide.State(src.Intn(3) - 1)
+		b := collide.State(src.Intn(3) - 1)
+		p := complex(float64(a), 0)*e1 + complex(float64(b), 0)*e2 + src.ComplexNorm(noise*noise)
+		points = append(points, p)
+		truth = append(truth, [2]collide.State{a, b})
+	}
+	sep, err := collide.SeparateBlind(points, src)
+	if err != nil {
+		return nil, err
+	}
+	// Align recovered vectors with truth for scoring.
+	swap := !collide.MatchVectors(sep.E1, sep.E2, e1, e2)
+	r1, r2 := sep.E1, sep.E2
+	if swap {
+		r1, r2 = r2, r1
+	}
+	s1, s2 := 1.0, 1.0
+	if dsp.Dist(r1, -e1) < dsp.Dist(r1, e1) {
+		s1 = -1
+	}
+	if dsp.Dist(r2, -e2) < dsp.Dist(r2, e2) {
+		s2 = -1
+	}
+	correct := 0
+	for i, st := range sep.States {
+		a, b := st[0], st[1]
+		if swap {
+			a, b = b, a
+		}
+		a = collide.State(float64(a) * s1)
+		b = collide.State(float64(b) * s2)
+		if a == truth[i][0] && b == truth[i][1] {
+			correct++
+		}
+	}
+	table := &stats.Table{
+		Title:  "Fig. 5 — blind parallelogram recovery of two colliding edges",
+		Header: []string{"quantity", "value"},
+	}
+	table.AddRow("points", fmt.Sprint(len(points)))
+	table.AddRow("e1 recovery error", fmt.Sprintf("%.1f%%", 100*dsp.Dist(complex(s1, 0)*r1, e1)/dsp.Abs(e1)))
+	table.AddRow("e2 recovery error", fmt.Sprintf("%.1f%%", 100*dsp.Dist(complex(s2, 0)*r2, e2)/dsp.Abs(e2)))
+	table.AddRow("joint state accuracy", fmt.Sprintf("%.1f%%", 100*float64(correct)/float64(len(points))))
+	return &Result{Table: table}, nil
+}

@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"fmt"
+
+	"lf"
+	"lf/internal/baseline/buzz"
+	"lf/internal/baseline/tdma"
+	"lf/internal/hardware"
+	"lf/internal/stats"
+)
+
+// Table3Hardware reproduces the tag hardware complexity comparison:
+// transistor counts with and without a 1 kbit FIFO.
+func Table3Hardware() *Result {
+	table := &stats.Table{
+		Title:  "Table 3 — hardware complexity (transistors)",
+		Header: []string{"design", "w/o FIFO", "w/ 1k FIFO"},
+	}
+	for _, c := range hardware.Table3(1024) {
+		table.AddRow(c.Name, fmt.Sprint(c.Transistors), fmt.Sprint(c.TransistorsWithFIFO))
+	}
+	return &Result{Table: table}
+}
+
+// Fig13 reproduces the communication-efficiency comparison: correct
+// bits delivered per microjoule of tag energy as the network grows.
+// Throughputs come from the same simulations as Fig. 8; power from the
+// component model in internal/hardware.
+func Fig13(cfg Config) (*Result, error) {
+	ns := []int{1, 4, 8, 12, 16}
+	if cfg.Quick {
+		ns = []int{1, 8}
+	}
+	bitRate := 100e3
+	bc := buzz.DefaultConfig()
+	table := &stats.Table{
+		Title:  "Fig. 13 — energy efficiency (bits/µJ) vs number of devices",
+		Header: []string{"nodes", "TDMA", "Buzz", "LF-Backscatter", "LF/TDMA", "LF/Buzz"},
+	}
+	series := []stats.Series{{Label: "TDMA"}, {Label: "Buzz"}, {Label: "LF-Backscatter"}}
+	for _, n := range ns {
+		// Per-tag goodputs.
+		tdmaPer := tdma.DefaultConfig().Transfer(n).PerNodeBps
+		buzzPer := bc.TransferBps(n) / float64(n)
+		lfAgg, _, err := lfThroughput(cfg, n, bitRate, lf.AllStages(), cfg.Seed+int64(n)*31)
+		if err != nil {
+			return nil, err
+		}
+		lfPer := lfAgg / float64(n)
+
+		tEff := hardware.Gen2Profile().BitsPerMicrojoule(tdmaPer)
+		bEff := hardware.BuzzProfile(bitRate, float64(bc.Measurements(n))).BitsPerMicrojoule(buzzPer)
+		lEff := hardware.LFProfile(bitRate).BitsPerMicrojoule(lfPer)
+		table.AddRow(fmt.Sprint(n), fmt.Sprintf("%.0f", tEff), fmt.Sprintf("%.0f", bEff),
+			fmt.Sprintf("%.0f", lEff), ratio(lEff, tEff), ratio(lEff, bEff))
+		series[0].Add(float64(n), tEff)
+		series[1].Add(float64(n), bEff)
+		series[2].Add(float64(n), lEff)
+	}
+	return &Result{Table: table, Series: series}, nil
+}
+
+// TagPowerBudgets summarizes the power model at representative
+// operating points — the platform story of §1 (a 1 Hz battery-less
+// temperature sensor) and §5.3's streaming tag.
+func TagPowerBudgets() *Result {
+	table := &stats.Table{
+		Title:  "Tag power model operating points",
+		Header: []string{"profile", "bit rate", "power (µW)"},
+	}
+	cases := []struct {
+		name string
+		p    hardware.Profile
+		rate string
+	}{
+		{"LF sensor (RTC clock)", hardware.LFProfile(1e3), "1 kbps"},
+		{"LF streaming", hardware.LFProfile(100e3), "100 kbps"},
+		{"Buzz", hardware.BuzzProfile(100e3, 7), "100 kbps"},
+		{"EPC Gen 2", hardware.Gen2Profile(), "100 kbps"},
+	}
+	for _, c := range cases {
+		table.AddRow(c.name, c.rate, fmt.Sprintf("%.2f", c.p.Power()*1e6))
+	}
+	return &Result{Table: table}
+}

@@ -1,0 +1,346 @@
+package experiment
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Seed: 1, Epochs: 1, Quick: true} }
+
+// parseKbps pulls the float out of a table cell.
+func parseKbps(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestTable1ReproducesPaperExample(t *testing.T) {
+	res, err := Table1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Table.Rows))
+	}
+	if res.Table.Rows[0][1] != res.Table.Rows[2][1] {
+		t.Fatalf("decoded bits %q != sent bits %q", res.Table.Rows[2][1], res.Table.Rows[0][1])
+	}
+}
+
+func TestFig8Orderings(t *testing.T) {
+	res, err := Fig8(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Table.Rows {
+		tdma := parseKbps(t, row[1])
+		buzz := parseKbps(t, row[2])
+		lf := parseKbps(t, row[3])
+		max := parseKbps(t, row[4])
+		if !(lf > tdma) {
+			t.Fatalf("LF (%v) must beat TDMA (%v): row %v", lf, tdma, row)
+		}
+		if !(lf > buzz) {
+			t.Fatalf("LF (%v) must beat Buzz (%v): row %v", lf, buzz, row)
+		}
+		if lf > max*1.01 {
+			t.Fatalf("LF (%v) exceeds offered load (%v)", lf, max)
+		}
+	}
+}
+
+func TestFig9FullPipelineNotWorse(t *testing.T) {
+	res, err := Fig9(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Table.Rows {
+		edge := parseKbps(t, row[1])
+		full := parseKbps(t, row[3])
+		if full < 0.8*edge {
+			t.Fatalf("full pipeline far below edge-only: %v", row)
+		}
+	}
+}
+
+func TestFig10Sweep(t *testing.T) {
+	res, err := Fig10(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Rows) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for _, row := range res.Table.Rows {
+		offered := parseKbps(t, row[4])
+		for col := 1; col <= 3; col++ {
+			if parseKbps(t, row[col]) > offered*1.01 {
+				t.Fatalf("throughput above offered: %v", row)
+			}
+		}
+	}
+}
+
+func TestFig11SlowNodesSurvive(t *testing.T) {
+	res, err := Fig11(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate achieved must be a large fraction of the aggregate
+	// bound, and the fastest pair must not be starved.
+	var achieved, bound float64
+	for _, row := range res.Table.Rows {
+		achieved += parseKbps(t, row[2])
+		bound += parseKbps(t, row[3])
+	}
+	if achieved < 0.5*bound {
+		t.Fatalf("mixed-rate delivery %.1f of %.1f kbps", achieved, bound)
+	}
+}
+
+func TestFig12LFBeatsTDMA(t *testing.T) {
+	res, err := Fig12(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Table.Rows {
+		tdma := parseKbps(t, row[1])
+		lf := parseKbps(t, row[3])
+		if lf >= tdma {
+			t.Fatalf("LF identification (%v ms) not faster than TDMA (%v ms)", lf, tdma)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Table2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Table.Rows))
+	}
+	for _, row := range res.Table.Rows {
+		acc := parseKbps(t, strings.TrimSuffix(row[1], "%"))
+		if acc < 30 {
+			t.Fatalf("separation accuracy %v%% too low: %v", acc, row)
+		}
+	}
+}
+
+func TestTable3Exact(t *testing.T) {
+	res := Table3Hardware()
+	want := [][2]string{{"22704", "34992"}, {"1792", "14080"}, {"176", "176"}}
+	for i, w := range want {
+		if res.Table.Rows[i][1] != w[0] || res.Table.Rows[i][2] != w[1] {
+			t.Fatalf("row %d = %v", i, res.Table.Rows[i])
+		}
+	}
+}
+
+func TestFig13Ordering(t *testing.T) {
+	res, err := Fig13(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Table.Rows {
+		tdma := parseKbps(t, row[1])
+		buzz := parseKbps(t, row[2])
+		lf := parseKbps(t, row[3])
+		if !(lf > buzz && lf > tdma) {
+			t.Fatalf("efficiency ordering broken: %v", row)
+		}
+	}
+}
+
+func TestFig14Gap(t *testing.T) {
+	res, err := Fig14(Config{Seed: 1, Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At every SNR, ASK's BER must be ≤ LF's (the robustness cost of
+	// edge decoding, §5.4), and both must reach zero at high SNR.
+	lf := res.Series[0]
+	ask := res.Series[1]
+	for i := range lf.Points {
+		if ask.Points[i].Y > lf.Points[i].Y+1e-9 {
+			t.Fatalf("ASK worse than LF at %v dB", lf.Points[i].X)
+		}
+	}
+	last := len(lf.Points) - 1
+	if lf.Points[last].Y != 0 || ask.Points[last].Y != 0 {
+		t.Fatal("BER should be zero at the top of the sweep")
+	}
+	if lf.Points[0].Y == 0 {
+		t.Fatal("LF BER should be nonzero at the bottom of the sweep")
+	}
+}
+
+func TestFig1Swings(t *testing.T) {
+	res, err := Fig1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Table.Rows))
+	}
+}
+
+func TestFig2SeparabilityCollapses(t *testing.T) {
+	res, err := Fig2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := parseKbps(t, strings.TrimSuffix(res.Table.Rows[0][3], "%"))
+	six := parseKbps(t, strings.TrimSuffix(res.Table.Rows[2][3], "%"))
+	if two < 95 {
+		t.Fatalf("2-tag cluster accuracy %v%%", two)
+	}
+	if six > two {
+		t.Fatalf("6-tag accuracy (%v%%) should be worse than 2-tag (%v%%)", six, two)
+	}
+}
+
+func TestFig4Spread(t *testing.T) {
+	res, err := Fig4(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p95-p05 spread row must be several bit periods at 100 kbps.
+	spreadBits := parseKbps(t, res.Table.Rows[6][1])
+	if spreadBits < 2 {
+		t.Fatalf("comparator spread %v bits too narrow for interleaving", spreadBits)
+	}
+}
+
+func TestFig5BlindRecovery(t *testing.T) {
+	res, err := Fig5(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := parseKbps(t, strings.TrimSuffix(res.Table.Rows[3][1], "%"))
+	if acc < 95 {
+		t.Fatalf("blind joint-state accuracy %v%%", acc)
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFig1CSV(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines < 100 {
+		t.Fatalf("fig1 CSV only %d lines", lines)
+	}
+	buf.Reset()
+	if err := WriteFig4CSV(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "series,x,y") {
+		t.Fatal("fig4 CSV missing header")
+	}
+	buf.Reset()
+	if err := WriteFig2CSV(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "qam16") || !strings.Contains(buf.String(), "tags6") {
+		t.Fatal("fig2 CSV missing series")
+	}
+	buf.Reset()
+	if err := WriteFig5CSV(&buf, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "centre"); got != 9 {
+		t.Fatalf("fig5 CSV has %d lattice centres", got)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if _, err := AblationSeparation(quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AblationRegistration(quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicsRobustness(t *testing.T) {
+	res, err := DynamicsRobustness(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Table.Rows
+	if len(rows) < 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Buzz with a stale estimate must degrade as drift grows, while a
+	// fresh estimate stays clean — the §2.2 estimation-cost argument.
+	staleLow := parseKbps(t, rows[0][2])
+	staleHigh := parseKbps(t, rows[len(rows)-1][2])
+	if staleHigh <= staleLow {
+		t.Fatalf("stale Buzz BER did not grow with drift: %v -> %v", staleLow, staleHigh)
+	}
+	for _, row := range rows {
+		if fresh := parseKbps(t, row[3]); fresh > 0.01 {
+			t.Fatalf("fresh-estimate Buzz BER %v at %s", fresh, row[0])
+		}
+	}
+}
+
+func TestReliableTransfer(t *testing.T) {
+	res, err := ReliableTransfer(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Table.Rows {
+		if row[3] != "true" {
+			t.Fatalf("reliable session incomplete: %v", row)
+		}
+	}
+}
+
+func TestScalabilityLowRate(t *testing.T) {
+	res, err := ScalabilityLowRate(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At a reduced rate the smallest deployment must run near its
+	// offered load (the §5.2 scaling argument).
+	frac := parseKbps(t, strings.TrimSuffix(res.Table.Rows[0][4], "%"))
+	if frac < 80 {
+		t.Fatalf("8 tags @10 kbps delivered only %v%% of offered", frac)
+	}
+}
+
+func TestCapacityModelPinsPaperConstants(t *testing.T) {
+	res, err := CapacityModel(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 is the paper's §3.3 operating point: P(2-way)=0.1890,
+	// P(3-way)=0.0181, 83-edge capacity.
+	row := res.Table.Rows[0]
+	if row[3] != "83" {
+		t.Fatalf("edge capacity %s", row[3])
+	}
+	p2 := parseKbps(t, row[4])
+	p3 := parseKbps(t, row[5])
+	if p2 < 0.185 || p2 > 0.193 {
+		t.Fatalf("P(2-way) = %v", p2)
+	}
+	if p3 < 0.016 || p3 > 0.020 {
+		t.Fatalf("P(3-way) = %v", p3)
+	}
+}
+
+func TestTagPowerBudgets(t *testing.T) {
+	res := TagPowerBudgets()
+	if len(res.Table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Table.Rows))
+	}
+}

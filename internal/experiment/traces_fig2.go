@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"lf/internal/collide"
+	"lf/internal/rng"
+)
+
+// WriteFig2CSV writes the Fig. 2 constellations as CSV: series, i, q.
+// Series: qam16 (the structured reference), tags2 (4 unstructured
+// clusters) and tags6 (64 clusters too dense to classify).
+func WriteFig2CSV(w io.Writer, cfg Config) error {
+	src := rng.New(cfg.Seed)
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"series", "i", "q"}); err != nil {
+		return err
+	}
+	emit := func(series string, v complex128) error {
+		return cw.Write([]string{
+			series,
+			strconv.FormatFloat(real(v), 'g', 6, 64),
+			strconv.FormatFloat(imag(v), 'g', 6, 64),
+		})
+	}
+	// QAM-16 reference: a 4×4 grid with modest noise.
+	qsrc := src.Split("qam")
+	for n := 0; n < 640; n++ {
+		i := float64(qsrc.Intn(4))*2 - 3
+		q := float64(qsrc.Intn(4))*2 - 3
+		v := complex(i, q) + qsrc.ComplexNorm(0.01)
+		if err := emit("qam16", v); err != nil {
+			return err
+		}
+	}
+	// Backscatter joint-state clouds for 2 and 6 tags.
+	for _, n := range []int{2, 6} {
+		coeffs := randomCoeffs(n, src.Split(fmt.Sprint("coef", n)))
+		csrc := src.Split(fmt.Sprint("pts", n))
+		env := complex(0.35, -0.18)
+		for p := 0; p < 1200; p++ {
+			state := csrc.Intn(1 << uint(n))
+			v := env
+			for j := 0; j < n; j++ {
+				if state>>uint(j)&1 == 1 {
+					v += coeffs[j]
+				}
+			}
+			v += csrc.ComplexNorm((6e-5) * (6e-5))
+			if err := emit(fmt.Sprintf("tags%d", n), v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFig5CSV writes the Fig. 5 collision lattice as CSV: the nine
+// ideal cluster centres and a cloud of noisy collision differentials.
+func WriteFig5CSV(w io.Writer, cfg Config) error {
+	src := rng.New(cfg.Seed)
+	e1 := complex(4.1e-4, 5.3e-4)
+	e2 := complex(-5.6e-4, 2.2e-4)
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"series", "i", "q"}); err != nil {
+		return err
+	}
+	for _, c := range collide.Lattice(e1, e2) {
+		if err := cw.Write([]string{"centre",
+			strconv.FormatFloat(real(c), 'g', 6, 64),
+			strconv.FormatFloat(imag(c), 'g', 6, 64)}); err != nil {
+			return err
+		}
+	}
+	for p := 0; p < 720; p++ {
+		a := float64(src.Intn(3) - 1)
+		b := float64(src.Intn(3) - 1)
+		v := complex(a, 0)*e1 + complex(b, 0)*e2 + src.ComplexNorm((4e-5)*(4e-5))
+		if err := cw.Write([]string{"observation",
+			strconv.FormatFloat(real(v), 'g', 6, 64),
+			strconv.FormatFloat(imag(v), 'g', 6, 64)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

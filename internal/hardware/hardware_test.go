@@ -1,0 +1,109 @@
+package hardware
+
+import "testing"
+
+// TestTable3MatchesPaper pins the transistor counts to the numbers the
+// paper reports: the netlists were sized from the cited designs, and a
+// change here means the hardware model drifted.
+func TestTable3MatchesPaper(t *testing.T) {
+	rows := Table3(1024)
+	want := []struct {
+		name      string
+		bare, fif int
+	}{
+		{"RFID chip", 22704, 34992},
+		{"Buzz", 1792, 14080},
+		{"LF-Backscatter", 176, 176},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, w := range want {
+		if rows[i].Name != w.name || rows[i].Transistors != w.bare || rows[i].TransistorsWithFIFO != w.fif {
+			t.Fatalf("row %d = %+v, want %+v", i, rows[i], w)
+		}
+	}
+}
+
+func TestFIFOTransistors(t *testing.T) {
+	if got := FIFOTransistors(1024); got != 12288 {
+		t.Fatalf("1 kbit FIFO = %d transistors", got)
+	}
+	if FIFOTransistors(0) != 0 {
+		t.Fatal("empty FIFO should cost nothing")
+	}
+}
+
+func TestNetlistTransistorArithmetic(t *testing.T) {
+	n := Netlist{DFF: 2, NAND2: 3, XOR2: 1, INV: 4}
+	want := 2*TransistorsDFF + 3*TransistorsNAND2 + TransistorsXOR2 + 4*TransistorsINV
+	if n.Transistors() != want {
+		t.Fatalf("Transistors() = %d, want %d", n.Transistors(), want)
+	}
+}
+
+func TestOscillatorPowerThreshold(t *testing.T) {
+	if OscillatorPower(32768) != PowerRTC {
+		t.Fatal("32.768 kHz should use the RTC")
+	}
+	if OscillatorPower(100e3) != PowerCrystal8MHz {
+		t.Fatal("100 kHz needs the fast crystal")
+	}
+}
+
+func TestPowerOrdering(t *testing.T) {
+	lf := LFProfile(100e3).Power()
+	buzz := BuzzProfile(100e3, 7).Power()
+	gen2 := Gen2Profile().Power()
+	if !(lf < buzz && buzz < gen2) {
+		t.Fatalf("power ordering broken: LF %.2eW, Buzz %.2eW, Gen2 %.2eW", lf, buzz, gen2)
+	}
+	// The LF streaming tag must sit in the paper's "tens of µW" regime.
+	if lf < 5e-6 || lf > 100e-6 {
+		t.Fatalf("LF streaming power %.2e W outside tens-of-µW regime", lf)
+	}
+}
+
+func TestLowRateLFTagIsMicrowatts(t *testing.T) {
+	// A 1 kbps sensor-class tag runs from the RTC: a few µW all in —
+	// the battery-less temperature sensor of §1.
+	p := LFProfile(1e3).Power()
+	if p > 3e-6 {
+		t.Fatalf("sensor-class LF tag draws %.2e W, want ≤ ~2µW", p)
+	}
+}
+
+func TestBitsPerMicrojoule(t *testing.T) {
+	p := LFProfile(100e3)
+	eff := p.BitsPerMicrojoule(100e3)
+	if eff <= 0 {
+		t.Fatal("efficiency must be positive")
+	}
+	// Efficiency is linear in goodput.
+	if e2 := p.BitsPerMicrojoule(50e3); e2 >= eff {
+		t.Fatal("halving goodput should halve efficiency")
+	}
+}
+
+func TestEfficiencyOrderingAtSixteenNodes(t *testing.T) {
+	// Per-tag goodputs at n=16 (nominal operating points).
+	lf := LFProfile(100e3).BitsPerMicrojoule(90e3)
+	buzz := BuzzProfile(100e3, 7).BitsPerMicrojoule(13e3)
+	gen2 := Gen2Profile().BitsPerMicrojoule(6e3)
+	if !(lf > buzz && buzz > gen2) {
+		t.Fatalf("efficiency ordering broken: LF %.0f, Buzz %.0f, Gen2 %.0f bits/µJ", lf, buzz, gen2)
+	}
+	if lf/buzz < 5 {
+		t.Fatalf("LF/Buzz efficiency ratio %.1f, expected a large gap", lf/buzz)
+	}
+	if lf/gen2 < 20 {
+		t.Fatalf("LF/Gen2 efficiency ratio %.1f, expected a very large gap", lf/gen2)
+	}
+}
+
+func TestComplexityString(t *testing.T) {
+	c := Complexity{Name: "X", Transistors: 1, TransistorsWithFIFO: 2}
+	if c.String() == "" {
+		t.Fatal("empty complexity string")
+	}
+}

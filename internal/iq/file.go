@@ -1,0 +1,122 @@
+package iq
+
+// Capture serialization: a small binary container so captures can be
+// recorded once (from the simulator here, or from an SDR front end in
+// a deployment) and replayed through the decoder offline. The format
+// is deliberately dumb and stable:
+//
+//	magic   "LFIQ" (4 bytes)
+//	version uint32 (little endian)
+//	rate    float64 bits (little endian)
+//	start   float64 bits (little endian)
+//	count   uint64
+//	samples count × (real float64, imag float64), little endian
+//
+// Everything after the header streams sequentially, so arbitrarily
+// long captures read and write in O(1) memory per sample.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// fileMagic identifies a capture container.
+var fileMagic = [4]byte{'L', 'F', 'I', 'Q'}
+
+// fileVersion is the current container version.
+const fileVersion = 1
+
+// maxReasonableSamples guards against corrupt headers allocating
+// absurd buffers (16 GiB of samples ≈ 11 minutes at 25 Msps).
+const maxReasonableSamples = 1 << 30
+
+// WriteTo serializes the capture. It returns the number of bytes
+// written.
+func (c *Capture) WriteTo(w io.Writer) (int64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(fileMagic); err != nil {
+		return n, err
+	}
+	if err := write(uint32(fileVersion)); err != nil {
+		return n, err
+	}
+	if err := write(c.SampleRate); err != nil {
+		return n, err
+	}
+	if err := write(c.Start); err != nil {
+		return n, err
+	}
+	if err := write(uint64(len(c.Samples))); err != nil {
+		return n, err
+	}
+	for _, s := range c.Samples {
+		if err := write(real(s)); err != nil {
+			return n, err
+		}
+		if err := write(imag(s)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadCapture deserializes a capture written by WriteTo.
+func ReadCapture(r io.Reader) (*Capture, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("iq: reading magic: %w", err)
+	}
+	if magic != fileMagic {
+		return nil, fmt.Errorf("iq: bad magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("iq: reading version: %w", err)
+	}
+	if version != fileVersion {
+		return nil, fmt.Errorf("iq: unsupported capture version %d", version)
+	}
+	c := &Capture{}
+	if err := binary.Read(br, binary.LittleEndian, &c.SampleRate); err != nil {
+		return nil, fmt.Errorf("iq: reading sample rate: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &c.Start); err != nil {
+		return nil, fmt.Errorf("iq: reading start: %w", err)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("iq: reading count: %w", err)
+	}
+	if count == 0 || count > maxReasonableSamples {
+		return nil, fmt.Errorf("iq: implausible sample count %d", count)
+	}
+	c.Samples = make([]complex128, count)
+	buf := make([]byte, 16)
+	for i := range c.Samples {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("iq: reading sample %d: %w", i, err)
+		}
+		re := math.Float64frombits(binary.LittleEndian.Uint64(buf[:8]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))
+		c.Samples[i] = complex(re, im)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

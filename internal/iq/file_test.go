@@ -1,0 +1,116 @@
+package iq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCaptureRoundTrip(t *testing.T) {
+	c := &Capture{
+		SampleRate: 25e6,
+		Start:      1.5,
+		Samples:    []complex128{1 + 2i, -3.5 + 0.25i, 0.001 - 9i},
+	}
+	var buf bytes.Buffer
+	n, err := c.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SampleRate != c.SampleRate || got.Start != c.Start {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Samples) != len(c.Samples) {
+		t.Fatalf("sample count %d", len(got.Samples))
+	}
+	for i := range c.Samples {
+		if got.Samples[i] != c.Samples[i] {
+			t.Fatalf("sample %d: %v != %v", i, got.Samples[i], c.Samples[i])
+		}
+	}
+}
+
+func TestCaptureRoundTripProperty(t *testing.T) {
+	f := func(rate float64, res, ims []float64) bool {
+		if rate <= 0 || rate > 1e12 || len(res) == 0 {
+			return true
+		}
+		n := len(res)
+		if len(ims) < n {
+			n = len(ims)
+		}
+		if n == 0 || n > 500 {
+			return true
+		}
+		c := &Capture{SampleRate: rate, Samples: make([]complex128, n)}
+		for i := 0; i < n; i++ {
+			if isBad(res[i]) || isBad(ims[i]) {
+				return true
+			}
+			c.Samples[i] = complex(res[i], ims[i])
+		}
+		var buf bytes.Buffer
+		if _, err := c.WriteTo(&buf); err != nil {
+			return true // invalid capture (e.g. NaN); Validate rejected it
+		}
+		got, err := ReadCapture(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range c.Samples {
+			if got.Samples[i] != c.Samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isBad(x float64) bool { return x != x || x > 1e300 || x < -1e300 }
+
+func TestReadCaptureRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE....................."),
+		"truncated": append([]byte("LFIQ"), 1, 0, 0, 0),
+	}
+	for name, data := range cases {
+		if _, err := ReadCapture(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadCaptureRejectsHugeCount(t *testing.T) {
+	var buf bytes.Buffer
+	c := &Capture{SampleRate: 1, Samples: []complex128{1}}
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the count field (offset: 4 magic + 4 version + 8 rate + 8 start).
+	for i := 24; i < 32; i++ {
+		data[i] = 0xFF
+	}
+	if _, err := ReadCapture(bytes.NewReader(data)); err == nil {
+		t.Fatal("absurd count accepted")
+	}
+}
+
+func TestWriteToRejectsInvalid(t *testing.T) {
+	c := &Capture{} // empty
+	if _, err := c.WriteTo(&strings.Builder{}); err == nil {
+		t.Fatal("invalid capture serialized")
+	}
+}

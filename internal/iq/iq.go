@@ -1,0 +1,139 @@
+// Package iq defines the complex baseband sample types shared by the
+// whole system: captures (what the reader's ADC produces), power and
+// dB conversions, and SNR measurement helpers.
+//
+// Conventions: samples are complex128 at a fixed sample rate; sample
+// indices are int64 so multi-second captures at 25 Msps do not overflow
+// 32-bit arithmetic on any platform; power is |x|² in linear units.
+package iq
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Capture is a block of complex baseband samples recorded at a known
+// sample rate, as produced by the reader front end. The zero value is
+// an empty capture.
+type Capture struct {
+	// SampleRate is the ADC rate in samples per second.
+	SampleRate float64
+	// Samples holds the baseband IQ samples. Samples[i] was taken at
+	// time Start + i/SampleRate seconds.
+	Samples []complex128
+	// Start is the capture start time in seconds from the beginning of
+	// the experiment (informational; decoding uses sample indices).
+	Start float64
+}
+
+// Duration returns the capture length in seconds.
+func (c *Capture) Duration() float64 {
+	if c.SampleRate == 0 {
+		return 0
+	}
+	return float64(len(c.Samples)) / c.SampleRate
+}
+
+// Len returns the number of samples.
+func (c *Capture) Len() int { return len(c.Samples) }
+
+// At returns sample i, or 0 outside the capture. Decoder windows that
+// straddle the capture edges rely on this clamping.
+func (c *Capture) At(i int64) complex128 {
+	if i < 0 || i >= int64(len(c.Samples)) {
+		return 0
+	}
+	return c.Samples[i]
+}
+
+// Slice returns the samples in [lo, hi), clamped to the capture bounds.
+func (c *Capture) Slice(lo, hi int64) []complex128 {
+	n := int64(len(c.Samples))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return nil
+	}
+	return c.Samples[lo:hi]
+}
+
+// Mean returns the complex mean of the samples in [lo, hi), clamped.
+// It returns 0 for an empty window.
+func (c *Capture) Mean(lo, hi int64) complex128 {
+	s := c.Slice(lo, hi)
+	if len(s) == 0 {
+		return 0
+	}
+	var sum complex128
+	for _, v := range s {
+		sum += v
+	}
+	return sum / complex(float64(len(s)), 0)
+}
+
+// Validate reports whether the capture is internally consistent.
+func (c *Capture) Validate() error {
+	if c.SampleRate <= 0 {
+		return errors.New("iq: capture has non-positive sample rate")
+	}
+	if len(c.Samples) == 0 {
+		return errors.New("iq: capture has no samples")
+	}
+	for i, v := range c.Samples {
+		if cmplx.IsNaN(v) || cmplx.IsInf(v) {
+			return fmt.Errorf("iq: sample %d is not finite", i)
+		}
+	}
+	return nil
+}
+
+// Power returns the average power |x|² of the samples.
+func Power(samples []complex128) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var p float64
+	for _, v := range samples {
+		p += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return p / float64(len(samples))
+}
+
+// DB converts a linear power ratio to decibels. DB(0) is -Inf.
+func DB(linear float64) float64 { return 10 * math.Log10(linear) }
+
+// Linear converts decibels to a linear power ratio.
+func Linear(db float64) float64 { return math.Pow(10, db/10) }
+
+// SNRdB returns the signal-to-noise ratio in dB given the signal edge
+// magnitude (peak-to-peak amplitude of the backscattered component) and
+// the noise variance sigma2.
+func SNRdB(edgeMagnitude, sigma2 float64) float64 {
+	if sigma2 <= 0 {
+		return math.Inf(1)
+	}
+	return DB(edgeMagnitude * edgeMagnitude / sigma2)
+}
+
+// NoiseSigma2ForSNR returns the complex noise variance that yields the
+// requested SNR in dB for a given signal edge magnitude. It is the
+// inverse of SNRdB.
+func NoiseSigma2ForSNR(edgeMagnitude, snrDB float64) float64 {
+	return edgeMagnitude * edgeMagnitude / Linear(snrDB)
+}
+
+// SamplesPerBit returns the (real-valued) number of ADC samples per bit
+// period for a tag transmitting at bitrate bps under sample rate fs.
+func SamplesPerBit(fs, bps float64) float64 { return fs / bps }
+
+// Seconds converts a sample index at rate fs to seconds.
+func Seconds(idx int64, fs float64) float64 { return float64(idx) / fs }
+
+// Index converts a time in seconds to the nearest sample index at rate fs.
+func Index(t, fs float64) int64 { return int64(math.Round(t * fs)) }

@@ -1,0 +1,123 @@
+package iq
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestCaptureDuration(t *testing.T) {
+	c := &Capture{SampleRate: 1000, Samples: make([]complex128, 2500)}
+	if got := c.Duration(); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("duration %v, want 2.5", got)
+	}
+	empty := &Capture{}
+	if empty.Duration() != 0 {
+		t.Fatal("zero-rate capture should report zero duration")
+	}
+}
+
+func TestCaptureAtClamps(t *testing.T) {
+	c := &Capture{SampleRate: 1, Samples: []complex128{1, 2, 3}}
+	if c.At(-1) != 0 || c.At(3) != 0 {
+		t.Fatal("out-of-range At should return 0")
+	}
+	if c.At(1) != 2 {
+		t.Fatalf("At(1) = %v", c.At(1))
+	}
+}
+
+func TestCaptureSliceClamps(t *testing.T) {
+	c := &Capture{SampleRate: 1, Samples: []complex128{1, 2, 3, 4}}
+	if got := c.Slice(-5, 2); len(got) != 2 || got[0] != 1 {
+		t.Fatalf("Slice(-5,2) = %v", got)
+	}
+	if got := c.Slice(3, 99); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("Slice(3,99) = %v", got)
+	}
+	if got := c.Slice(3, 2); got != nil {
+		t.Fatalf("inverted Slice = %v", got)
+	}
+}
+
+func TestCaptureMean(t *testing.T) {
+	c := &Capture{SampleRate: 1, Samples: []complex128{1 + 1i, 3 + 3i}}
+	if got := c.Mean(0, 2); got != 2+2i {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := c.Mean(5, 9); got != 0 {
+		t.Fatalf("empty-window Mean = %v", got)
+	}
+}
+
+func TestCaptureValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Capture
+		ok   bool
+	}{
+		{"valid", Capture{SampleRate: 1, Samples: []complex128{1}}, true},
+		{"zero rate", Capture{Samples: []complex128{1}}, false},
+		{"empty", Capture{SampleRate: 1}, false},
+		{"NaN", Capture{SampleRate: 1, Samples: []complex128{cmplx.NaN()}}, false},
+		{"Inf", Capture{SampleRate: 1, Samples: []complex128{cmplx.Inf()}}, false},
+	}
+	for _, tc := range cases {
+		err := tc.c.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestPower(t *testing.T) {
+	if got := Power([]complex128{3 + 4i}); math.Abs(got-25) > 1e-12 {
+		t.Fatalf("Power = %v, want 25", got)
+	}
+	if Power(nil) != 0 {
+		t.Fatal("Power(nil) should be 0")
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	f := func(db float64) bool {
+		if math.Abs(db) > 100 {
+			return true
+		}
+		back := DB(Linear(db))
+		return math.Abs(back-db) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSNRConversionsInverse(t *testing.T) {
+	const edge = 7e-4
+	for _, snr := range []float64{0, 5, 10, 20} {
+		sigma2 := NoiseSigma2ForSNR(edge, snr)
+		if got := SNRdB(edge, sigma2); math.Abs(got-snr) > 1e-9 {
+			t.Fatalf("SNR roundtrip: want %v got %v", snr, got)
+		}
+	}
+	if !math.IsInf(SNRdB(1, 0), 1) {
+		t.Fatal("zero-noise SNR should be +Inf")
+	}
+}
+
+func TestSamplesPerBit(t *testing.T) {
+	if got := SamplesPerBit(25e6, 100e3); got != 250 {
+		t.Fatalf("SamplesPerBit = %v", got)
+	}
+}
+
+func TestIndexSecondsRoundTrip(t *testing.T) {
+	const fs = 25e6
+	for _, idx := range []int64{0, 1, 999, 123456789} {
+		back := Index(Seconds(idx, fs), fs)
+		if back != idx {
+			t.Fatalf("index %d -> %d", idx, back)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package linalg provides the dense complex linear algebra the Buzz
+// baseline's decoder needs: matrix/vector products, Gaussian
+// elimination with partial pivoting, and least-squares solves via the
+// normal equations. Matrices are small (tens of rows), so simplicity
+// and numerical hygiene beat asymptotics here.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math/cmplx"
+)
+
+// Matrix is a dense, row-major complex matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewMatrix allocates a zero rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimensions")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length.
+func FromRows(rows [][]complex128) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("linalg: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set writes element (i, j).
+func (m *Matrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x []complex128) []complex128 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch: %d cols vs %d vector", m.Cols, len(x)))
+	}
+	y := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var acc complex128
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			acc += v * x[j]
+		}
+		y[i] = acc
+	}
+	return y
+}
+
+// Mul returns m·b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch: %dx%d times %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// ConjTranspose returns mᴴ.
+func (m *Matrix) ConjTranspose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, cmplx.Conj(m.At(i, j)))
+		}
+	}
+	return out
+}
+
+// ErrSingular is returned when elimination meets a (numerically) zero
+// pivot.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Solve solves the square system a·x = b by Gaussian elimination with
+// partial pivoting. a and b are not modified.
+func Solve(a *Matrix, b []complex128) ([]complex128, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Solve needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("linalg: Solve rhs length %d for %d rows", len(b), a.Rows)
+	}
+	n := a.Rows
+	aug := a.Clone()
+	x := make([]complex128, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in this column.
+		pivot := col
+		best := cmplx.Abs(aug.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := cmplx.Abs(aug.At(r, col)); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best < 1e-14 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				aug.Data[col*n+j], aug.Data[pivot*n+j] = aug.Data[pivot*n+j], aug.Data[col*n+j]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / aug.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := aug.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				aug.Data[r*n+j] -= f * aug.Data[col*n+j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		acc := x[i]
+		for j := i + 1; j < n; j++ {
+			acc -= aug.At(i, j) * x[j]
+		}
+		x[i] = acc / aug.At(i, i)
+	}
+	return x, nil
+}
+
+// LeastSquares solves min‖a·x − b‖₂ via the normal equations
+// (aᴴa)x = aᴴb. Suitable for the well-conditioned random measurement
+// matrices Buzz uses; returns ErrSingular when aᴴa is rank deficient
+// (fewer independent measurements than unknowns).
+func LeastSquares(a *Matrix, b []complex128) ([]complex128, error) {
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("linalg: LeastSquares rhs length %d for %d rows", len(b), a.Rows)
+	}
+	ah := a.ConjTranspose()
+	ata := ah.Mul(a)
+	atb := ah.MulVec(b)
+	return Solve(ata, atb)
+}
+
+// RidgeLeastSquares solves the Tikhonov-regularized least squares
+// min‖a·x − b‖₂² + λ‖x‖₂² via (aᴴa + λI)x = aᴴb. λ > 0 makes the
+// system nonsingular even when a is rank deficient — the fallback for
+// unlucky random measurement matrices.
+func RidgeLeastSquares(a *Matrix, b []complex128, lambda float64) ([]complex128, error) {
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("linalg: RidgeLeastSquares rhs length %d for %d rows", len(b), a.Rows)
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("linalg: ridge parameter %v must be positive", lambda)
+	}
+	ah := a.ConjTranspose()
+	ata := ah.Mul(a)
+	for i := 0; i < ata.Rows; i++ {
+		ata.Set(i, i, ata.At(i, i)+complex(lambda, 0))
+	}
+	atb := ah.MulVec(b)
+	return Solve(ata, atb)
+}
+
+// Residual returns ‖a·x − b‖₂².
+func Residual(a *Matrix, x, b []complex128) float64 {
+	y := a.MulVec(x)
+	var r float64
+	for i := range y {
+		d := y[i] - b[i]
+		r += real(d)*real(d) + imag(d)*imag(d)
+	}
+	return r
+}
+
+// Identity returns the n×n identity.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}

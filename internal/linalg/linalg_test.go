@@ -1,0 +1,181 @@
+package linalg
+
+import (
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"lf/internal/rng"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := FromRows([][]complex128{
+		{2, 1},
+		{1, 3},
+	})
+	// x = (1, 2i): b = (2+2i, 1+6i)
+	b := []complex128{2 + 2i, 1 + 6i}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-1) > 1e-12 || cmplx.Abs(x[1]-2i) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]complex128{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := Solve(a, []complex128{1, 2}); err != ErrSingular {
+		t.Fatalf("singular matrix: err = %v", err)
+	}
+}
+
+func TestSolveDimensionErrors(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := Solve(a, []complex128{1, 2}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	sq := NewMatrix(2, 2)
+	if _, err := Solve(sq, []complex128{1}); err == nil {
+		t.Fatal("wrong rhs length accepted")
+	}
+}
+
+func TestSolvePropertyAxEqualsB(t *testing.T) {
+	src := rng.New(1)
+	f := func(seed int64) bool {
+		s := rng.New(seed)
+		n := 3 + s.Intn(4)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, complex(s.Norm(0, 1), s.Norm(0, 1)))
+			}
+			a.Set(i, i, a.At(i, i)+complex(float64(n), 0)) // diagonally dominant
+		}
+		want := make([]complex128, n)
+		for i := range want {
+			want[i] = complex(s.Norm(0, 1), s.Norm(0, 1))
+		}
+		b := a.MulVec(want)
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	_ = src
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeastSquaresConsistent(t *testing.T) {
+	// Overdetermined but consistent: exact recovery.
+	a := FromRows([][]complex128{
+		{1, 0},
+		{0, 1},
+		{1, 1},
+		{1, -1},
+	})
+	want := []complex128{2 - 1i, 3 + 2i}
+	b := a.MulVec(want)
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+	if r := Residual(a, x, b); r > 1e-18 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestLeastSquaresMinimizes(t *testing.T) {
+	a := FromRows([][]complex128{{1}, {1}})
+	b := []complex128{0, 2}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-1) > 1e-12 {
+		t.Fatalf("LS of {0,2} over ones = %v, want 1", x[0])
+	}
+}
+
+func TestConjTransposeProduct(t *testing.T) {
+	src := rng.New(2)
+	f := func(seed int64) bool {
+		s := rng.New(seed)
+		a := NewMatrix(2, 3)
+		b := NewMatrix(3, 2)
+		for i := range a.Data {
+			a.Data[i] = complex(s.Norm(0, 1), s.Norm(0, 1))
+		}
+		for i := range b.Data {
+			b.Data[i] = complex(s.Norm(0, 1), s.Norm(0, 1))
+		}
+		// (A·B)ᴴ == Bᴴ·Aᴴ
+		lhs := a.Mul(b).ConjTranspose()
+		rhs := b.ConjTranspose().Mul(a.ConjTranspose())
+		for i := range lhs.Data {
+			if cmplx.Abs(lhs.Data[i]-rhs.Data[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	_ = src
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2i}, {3, 4}})
+	got := Identity(2).Mul(a)
+	for i := range a.Data {
+		if got.Data[i] != a.Data[i] {
+			t.Fatal("I·A != A")
+		}
+	}
+}
+
+func TestMulVecDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch should panic")
+		}
+	}()
+	NewMatrix(2, 2).MulVec([]complex128{1})
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged rows should panic")
+		}
+	}()
+	FromRows([][]complex128{{1, 2}, {3}})
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}})
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}

@@ -1,0 +1,159 @@
+package reader
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"lf/internal/channel"
+	"lf/internal/tag"
+)
+
+// cleanModel returns a noiseless channel with the given coefficients.
+func cleanModel(coeffs ...complex128) *channel.Model {
+	p := channel.DefaultParams()
+	p.NoiseSigma2 = 0
+	return channel.NewModelFromCoeffs(p, coeffs, nil)
+}
+
+func TestEpochConfigValidate(t *testing.T) {
+	good := EpochConfig{SampleRate: 25e6, Duration: 1e-3, EdgeSamples: 3}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for _, bad := range []EpochConfig{
+		{SampleRate: 0, Duration: 1e-3, EdgeSamples: 3},
+		{SampleRate: 25e6, Duration: 0, EdgeSamples: 3},
+		{SampleRate: 25e6, Duration: 1e-3, EdgeSamples: 0},
+	} {
+		if bad.Validate() == nil {
+			t.Fatalf("invalid config accepted: %+v", bad)
+		}
+	}
+}
+
+func TestSynthesizeLevels(t *testing.T) {
+	h := complex(2e-3, 1e-3)
+	ch := cleanModel(h)
+	em := &tag.Emission{
+		TagID:     0,
+		Start:     40e-6,
+		BitPeriod: 10e-6,
+		Bits:      []byte{1, 0, 1},
+		Toggles: []tag.Toggle{
+			{Time: 40e-6, State: 1},
+			{Time: 60e-6, State: 0},
+		},
+	}
+	cfg := EpochConfig{SampleRate: 25e6, Duration: 100e-6, EdgeSamples: 3}
+	ep, err := Synthesize(ch, []*tag.Emission{em}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := ch.Params.EnvReflection
+	// Before the first toggle the received value is the environment.
+	if got := ep.Capture.Samples[100]; cmplx.Abs(got-env) > 1e-12 {
+		t.Fatalf("pre-toggle level %v, want env %v", got, env)
+	}
+	// Between toggles (samples 1005..1495) the tag reflects: env + h.
+	if got := ep.Capture.Samples[1200]; cmplx.Abs(got-(env+h)) > 1e-12 {
+		t.Fatalf("tuned level %v, want %v", got, env+h)
+	}
+	// After the falling toggle it returns to the environment.
+	if got := ep.Capture.Samples[1800]; cmplx.Abs(got-env) > 1e-12 {
+		t.Fatalf("post-toggle level %v, want env", got)
+	}
+}
+
+func TestSynthesizeRampWidth(t *testing.T) {
+	h := complex(1e-3, 0)
+	ch := cleanModel(h)
+	em := &tag.Emission{
+		TagID: 0, Start: 4e-6, BitPeriod: 10e-6, Bits: []byte{1},
+		Toggles: []tag.Toggle{{Time: 4e-6, State: 1}},
+	}
+	cfg := EpochConfig{SampleRate: 25e6, Duration: 20e-6, EdgeSamples: 4}
+	ep, err := Synthesize(ch, []*tag.Emission{em}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := ch.Params.EnvReflection
+	idx := 100 // 4µs at 25 Msps
+	// Sample idx is mid-ramp, idx+4 fully settled.
+	pre := ep.Capture.Samples[idx-1] - env
+	post := ep.Capture.Samples[idx+4] - env
+	if cmplx.Abs(pre) > 1e-12 {
+		t.Fatalf("ramp started early: %v", pre)
+	}
+	if cmplx.Abs(post-h) > 1e-12 {
+		t.Fatalf("ramp not settled after EdgeSamples: %v", post)
+	}
+	mid := ep.Capture.Samples[idx+1] - env
+	if real(mid) <= 0 || real(mid) >= real(h) {
+		t.Fatalf("mid-ramp value %v not between 0 and h", mid)
+	}
+}
+
+func TestSynthesizeTwoTagsLinear(t *testing.T) {
+	h1, h2 := complex(1e-3, 0), complex(0, 2e-3)
+	ch := cleanModel(h1, h2)
+	mk := func(id int, at float64) *tag.Emission {
+		return &tag.Emission{
+			TagID: id, Start: at, BitPeriod: 10e-6, Bits: []byte{1},
+			Toggles: []tag.Toggle{{Time: at, State: 1}},
+		}
+	}
+	cfg := EpochConfig{SampleRate: 25e6, Duration: 40e-6, EdgeSamples: 3}
+	ep, err := Synthesize(ch, []*tag.Emission{mk(0, 5e-6), mk(1, 15e-6)}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := ch.Params.EnvReflection
+	// After both toggles the signal is the sum of both reflections.
+	got := ep.Capture.Samples[int(30e-6*25e6)]
+	if cmplx.Abs(got-(env+h1+h2)) > 1e-12 {
+		t.Fatalf("combined level %v, want %v", got, env+h1+h2)
+	}
+}
+
+func TestSynthesizeRejectsUnknownTag(t *testing.T) {
+	ch := cleanModel(1)
+	em := &tag.Emission{TagID: 5, Bits: []byte{1}, BitPeriod: 1e-5,
+		Toggles: []tag.Toggle{{Time: 0, State: 1}}}
+	cfg := EpochConfig{SampleRate: 25e6, Duration: 1e-5, EdgeSamples: 3}
+	if _, err := Synthesize(ch, []*tag.Emission{em}, cfg); err == nil {
+		t.Fatal("emission for unknown tag accepted")
+	}
+}
+
+func TestSynthesizeTruncatesLateToggles(t *testing.T) {
+	ch := cleanModel(1e-3)
+	em := &tag.Emission{
+		TagID: 0, Start: 0, BitPeriod: 10e-6, Bits: []byte{1, 1},
+		Toggles: []tag.Toggle{
+			{Time: 1e-6, State: 1},
+			{Time: 99, State: 0}, // far beyond the capture
+		},
+	}
+	cfg := EpochConfig{SampleRate: 25e6, Duration: 10e-6, EdgeSamples: 3}
+	if _, err := Synthesize(ch, []*tag.Emission{em}, cfg); err != nil {
+		t.Fatalf("late toggle should be ignored, got %v", err)
+	}
+}
+
+func TestOracleEdgeIndices(t *testing.T) {
+	em := &tag.Emission{
+		Toggles: []tag.Toggle{{Time: 1e-6, State: 1}, {Time: 2e-6, State: 0}},
+	}
+	cfg := EpochConfig{SampleRate: 25e6, Duration: 1e-3, EdgeSamples: 3}
+	idx := OracleEdgeIndices(em, cfg)
+	if len(idx) != 2 || idx[0] != 25 || idx[1] != 50 {
+		t.Fatalf("oracle indices = %v", idx)
+	}
+}
+
+func TestNumSamples(t *testing.T) {
+	cfg := EpochConfig{SampleRate: 25e6, Duration: 2e-3, EdgeSamples: 3}
+	if got := cfg.NumSamples(); got != 50000 {
+		t.Fatalf("NumSamples = %d", got)
+	}
+}

@@ -1,0 +1,120 @@
+package reliable
+
+import (
+	"testing"
+
+	"lf"
+	"lf/internal/rng"
+)
+
+func buildSession(t *testing.T, n int, seed int64, dataBits int) (*lf.Network, []Message) {
+	t.Helper()
+	net, err := lf.NewNetwork(lf.NetworkConfig{NumTags: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(seed + 100)
+	msgs := make([]Message, n)
+	for i := range msgs {
+		msgs[i] = Message{TagID: i, Data: src.Bits(dataBits)}
+	}
+	return net, msgs
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	src := rng.New(1)
+	m := Message{TagID: 13, Data: src.Bits(64)}
+	bits := frame(m)
+	id, data, ok := parseFrame(bits)
+	if !ok || id != 13 || !bitsEqual(data, m.Data) {
+		t.Fatalf("roundtrip failed: id=%d ok=%v", id, ok)
+	}
+	// Any single-bit corruption must invalidate the frame.
+	for i := 0; i < len(bits); i += 7 {
+		bits[i] ^= 1
+		if _, _, ok := parseFrame(bits); ok {
+			t.Fatalf("corruption at %d undetected", i)
+		}
+		bits[i] ^= 1
+	}
+}
+
+func TestParseFrameRejectsShort(t *testing.T) {
+	if _, _, ok := parseFrame(make([]byte, 20)); ok {
+		t.Fatal("short frame accepted")
+	}
+}
+
+func TestCollectSingleTag(t *testing.T) {
+	net, msgs := buildSession(t, 1, 3, 120)
+	res, err := Collect(net, msgs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || len(res.Epochs) != 1 {
+		t.Fatalf("single tag needed %d epochs (complete=%v)", len(res.Epochs), res.Complete)
+	}
+	if !bitsEqual(res.Delivered[0], msgs[0].Data) {
+		t.Fatal("delivered data mismatch")
+	}
+}
+
+func TestCollectEightTags(t *testing.T) {
+	net, msgs := buildSession(t, 8, 5, 96)
+	res, err := Collect(net, msgs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("session incomplete after %d epochs: %d/%d delivered",
+			len(res.Epochs), len(res.Delivered), len(msgs))
+	}
+	for _, m := range msgs {
+		if !bitsEqual(res.Delivered[m.TagID], m.Data) {
+			t.Fatalf("tag %d data corrupted", m.TagID)
+		}
+	}
+	// Retransmission must make progress monotonically.
+	prev := 0
+	for _, es := range res.Epochs {
+		if es.Delivered < prev {
+			t.Fatal("delivered count went backwards")
+		}
+		prev = es.Delivered
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	net, msgs := buildSession(t, 2, 7, 32)
+	if _, err := Collect(net, msgs[:1], DefaultConfig()); err == nil {
+		t.Fatal("message count mismatch accepted")
+	}
+	bad := DefaultConfig()
+	bad.MaxEpochs = 0
+	if _, err := Collect(net, msgs, bad); err == nil {
+		t.Fatal("zero MaxEpochs accepted")
+	}
+	msgs[0].TagID = 300
+	if _, err := Collect(net, msgs, DefaultConfig()); err == nil {
+		t.Fatal("oversized tag id accepted")
+	}
+}
+
+func TestRateReductionTriggers(t *testing.T) {
+	// Force heavy collisions: 12 fast tags, aggressive threshold.
+	net, msgs := buildSession(t, 12, 11, 200)
+	cfg := DefaultConfig()
+	cfg.CollisionRateThreshold = 0.01 // trigger on any collision
+	cfg.MaxEpochs = 3
+	res, err := Collect(net, msgs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RateReductions == 0 {
+		t.Fatal("aggressive threshold never triggered a slow-down")
+	}
+	// The recorded max rate must drop after the first reduction.
+	if len(res.Epochs) >= 2 && res.Epochs[1].MaxRate >= res.Epochs[0].MaxRate {
+		t.Fatalf("rate did not drop: %v -> %v", res.Epochs[0].MaxRate, res.Epochs[1].MaxRate)
+	}
+}

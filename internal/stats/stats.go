@@ -1,0 +1,211 @@
+// Package stats provides the summary statistics and result containers
+// the experiment harness reports with: means, deviations, confidence
+// intervals, BER accumulators, and printable tables/series shaped like
+// the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation of xs (0 for n < 2).
+func Stddev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval on the mean of xs.
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return 1.96 * Stddev(xs) / math.Sqrt(float64(n))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation; xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if q <= 0 {
+		return cp[0]
+	}
+	if q >= 1 {
+		return cp[len(cp)-1]
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(cp) {
+		return cp[lo]
+	}
+	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}
+
+// BER accumulates bit-error counts.
+type BER struct {
+	Errors, Bits int
+}
+
+// Add accumulates errors out of bits.
+func (b *BER) Add(errors, bits int) {
+	b.Errors += errors
+	b.Bits += bits
+}
+
+// Rate returns the error rate (0 when no bits were counted).
+func (b *BER) Rate() float64 {
+	if b.Bits == 0 {
+		return 0
+	}
+	return float64(b.Errors) / float64(b.Bits)
+}
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{x, y})
+}
+
+// Table is a printable experiment result shaped like a paper table or
+// the data behind a figure.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CSV renders the table as comma-separated values (header first).
+// Cells are quoted only when they contain commas or quotes.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// FromSeries builds a table with one X column and one Y column per
+// series, joining on X values in first-series order.
+func FromSeries(title, xLabel string, series []Series, format string) *Table {
+	t := &Table{Title: title, Header: []string{xLabel}}
+	for _, s := range series {
+		t.Header = append(t.Header, s.Label)
+	}
+	if len(series) == 0 {
+		return t
+	}
+	for i, p := range series[0].Points {
+		row := []string{fmt.Sprintf("%g", p.X)}
+		for _, s := range series {
+			if i < len(s.Points) {
+				row = append(row, fmt.Sprintf(format, s.Points[i].Y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if got := Stddev(xs); math.Abs(got-2.1381) > 1e-3 {
+		t.Fatalf("stddev = %v", got)
+	}
+	if Mean(nil) != 0 || Stddev([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs should be 0")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 2) // mean .5, sd ~.5
+	}
+	ci := CI95(xs)
+	if ci < 0.08 || ci > 0.12 {
+		t.Fatalf("CI95 = %v, want ~0.098", ci)
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Fatal("single sample CI should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // sorted: 1 2 3 4
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 2.5 {
+		t.Fatalf("median = %v", got)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	// Input not mutated.
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestBER(t *testing.T) {
+	var b BER
+	if b.Rate() != 0 {
+		t.Fatal("empty BER should be 0")
+	}
+	b.Add(3, 100)
+	b.Add(0, 100)
+	if b.Rate() != 0.015 {
+		t.Fatalf("rate = %v", b.Rate())
+	}
+}
+
+func TestSeriesAdd(t *testing.T) {
+	var s Series
+	s.Add(1, 2)
+	s.Add(3, 4)
+	if len(s.Points) != 2 || s.Points[1] != (Point{3, 4}) {
+		t.Fatalf("points = %+v", s.Points)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "long-header"}}
+	tb.AddRow("xx", "1")
+	tb.AddRow("y", "22")
+	out := tb.String()
+	if !strings.Contains(out, "== T ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Columns align: the second column starts at the same offset in
+	// every row.
+	idx := strings.Index(lines[1], "long-header")
+	for _, l := range lines[2:] {
+		if len(l) <= idx {
+			t.Fatalf("row %q shorter than header offset", l)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("x,y", `say "hi"`)
+	got := tb.CSV()
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFromSeries(t *testing.T) {
+	s1 := Series{Label: "A", Points: []Point{{1, 10}, {2, 20}}}
+	s2 := Series{Label: "B", Points: []Point{{1, 30}}}
+	tb := FromSeries("t", "x", []Series{s1, s2}, "%.0f")
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[0][1] != "10" || tb.Rows[0][2] != "30" {
+		t.Fatalf("row 0 = %v", tb.Rows[0])
+	}
+	if tb.Rows[1][2] != "-" {
+		t.Fatalf("missing point should render '-', got %v", tb.Rows[1])
+	}
+}

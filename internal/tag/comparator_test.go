@@ -1,0 +1,83 @@
+package tag
+
+import (
+	"math"
+	"testing"
+
+	"lf/internal/rng"
+)
+
+func TestFireTimePositiveAndSpread(t *testing.T) {
+	src := rng.New(1)
+	comp := DefaultComparator()
+	var min, max float64 = math.Inf(1), 0
+	for i := 0; i < 2000; i++ {
+		ft := comp.FireTime(src)
+		if ft <= 0 {
+			t.Fatalf("non-positive fire time %v", ft)
+		}
+		if ft < min {
+			min = ft
+		}
+		if ft > max {
+			max = ft
+		}
+	}
+	// The three randomness sources must yield a spread of at least a
+	// few bit periods at 100 kbps (tens of microseconds).
+	if max-min < 20e-6 {
+		t.Fatalf("fire-time spread %v too small for edge interleaving", max-min)
+	}
+	if max > 1e-3 {
+		t.Fatalf("fire time %v implausibly late", max)
+	}
+}
+
+func TestDeterministicComparator(t *testing.T) {
+	comp := DefaultComparator()
+	comp.CapacitorTolerance = 0
+	comp.EnergySpread = 0
+	comp.ChargeNoise = 0
+	a := comp.FireTime(rng.New(1))
+	b := comp.FireTime(rng.New(999))
+	if a != b {
+		t.Fatalf("zeroed randomness should fire identically: %v vs %v", a, b)
+	}
+	// And match the analytic RC crossing time.
+	want := -comp.RCSeconds * math.Log(1-comp.Threshold)
+	if math.Abs(a-want) > 1e-12 {
+		t.Fatalf("fire time %v, want %v", a, want)
+	}
+}
+
+func TestHigherEnergyFiresEarlier(t *testing.T) {
+	// With only the energy term active, more harvested power (larger
+	// V∞) crosses the threshold sooner. Compare the analytic curve.
+	comp := DefaultComparator()
+	comp.CapacitorTolerance = 0
+	comp.ChargeNoise = 0
+	fire := func(vInf float64) float64 {
+		frac := comp.Threshold / vInf
+		return -comp.RCSeconds * math.Log(1-frac)
+	}
+	if fire(1.3) >= fire(0.8) {
+		t.Fatal("higher harvested energy should fire earlier")
+	}
+}
+
+func TestChargingCurveShape(t *testing.T) {
+	comp := DefaultComparator()
+	tt, v := comp.ChargingCurve(5*comp.RCSeconds, 100, 1.0, nil)
+	if len(tt) != 100 || len(v) != 100 {
+		t.Fatal("curve length mismatch")
+	}
+	// Noiseless charging is monotonically increasing and approaches V∞.
+	for i := 1; i < len(v); i++ {
+		if v[i] <= v[i-1] {
+			t.Fatalf("noiseless charge curve not monotonic at %d", i)
+		}
+	}
+	if v[99] < 0.99 {
+		t.Fatalf("after 5RC the capacitor should be ~charged, got %v", v[99])
+	}
+}

@@ -1,0 +1,181 @@
+// Package tag models LF-Backscatter sensor tags: blind, laissez-faire
+// transmitters that begin clocking bits out the moment their comparator
+// detects the reader's carrier. A tag has no receive path, no MAC, no
+// buffers — just a clock (with realistic drift), an RF transistor whose
+// state it toggles, and the comparator front end in comparator.go.
+package tag
+
+import (
+	"fmt"
+	"sort"
+
+	"lf/internal/rng"
+)
+
+// PreambleLen is the number of leading '1' bits every frame opens with.
+// Under toggle-on-1 modulation the preamble produces PreambleLen edges
+// of alternating polarity spaced exactly one bit period apart: the
+// reader uses the run to register the stream (rate, offset, and the
+// rising-edge vector — the paper's "anchor"). The first preamble edge
+// is rising by construction because tags start with the antenna
+// detuned (state 0).
+const PreambleLen = 6
+
+// DelimiterLen is the single '0' bit between preamble and payload. It
+// terminates the leading 1-run deterministically, so the reader can
+// align the payload even when it registered the stream a slot or two
+// into the preamble (dense deployments collide some preamble edges).
+const DelimiterLen = 1
+
+// FrameOverhead is the per-frame bit overhead before the payload.
+const FrameOverhead = PreambleLen + DelimiterLen
+
+// Config describes one tag.
+type Config struct {
+	// ID identifies the tag in results (index into the channel model).
+	ID int
+	// BitRate is the transmit rate in bits/s. Must be a positive
+	// multiple of the network's base rate.
+	BitRate float64
+	// ClockPPM is the magnitude of the tag clock's drift range in
+	// parts per million (the paper's external crystal: 150 ppm).
+	ClockPPM float64
+	// Comparator is the carrier-detect front end.
+	Comparator Comparator
+	// Payload is the bit payload (values 0/1) the tag transmits after
+	// the preamble each epoch. Blind sensors just stream samples; the
+	// harness fills this with sensor data or an EPC identifier.
+	Payload []byte
+}
+
+// Validate checks the config against the network base rate.
+func (c Config) Validate(baseRate float64) error {
+	if c.BitRate <= 0 {
+		return fmt.Errorf("tag %d: non-positive bit rate %v", c.ID, c.BitRate)
+	}
+	if baseRate > 0 {
+		mult := c.BitRate / baseRate
+		if diff := mult - float64(int64(mult+0.5)); diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("tag %d: bit rate %v is not a multiple of base rate %v", c.ID, c.BitRate, baseRate)
+		}
+	}
+	for i, b := range c.Payload {
+		if b > 1 {
+			return fmt.Errorf("tag %d: payload[%d] = %d is not a bit", c.ID, i, b)
+		}
+	}
+	return nil
+}
+
+// FrameBits returns the full bit sequence for one epoch: preamble,
+// delimiter, then payload.
+func (c Config) FrameBits() []byte {
+	bits := make([]byte, 0, FrameOverhead+len(c.Payload))
+	for i := 0; i < PreambleLen; i++ {
+		bits = append(bits, 1)
+	}
+	bits = append(bits, 0)
+	return append(bits, c.Payload...)
+}
+
+// Toggle is one antenna state change: at Time (seconds after carrier
+// on) the tag's antenna switches to State (0 detuned, 1 tuned).
+type Toggle struct {
+	Time  float64
+	State byte
+}
+
+// Emission is everything a tag does during one epoch, as seen by the
+// channel: the start offset its comparator drew, its actual (drifted)
+// bit period, and the toggle sequence.
+type Emission struct {
+	TagID int
+	// Start is the comparator fire time: the instant of the first bit
+	// boundary.
+	Start float64
+	// BitPeriod is the actual per-bit duration including drift.
+	BitPeriod float64
+	// Toggles lists antenna state changes in time order.
+	Toggles []Toggle
+	// Bits is the ground-truth transmitted frame (preamble + payload).
+	Bits []byte
+}
+
+// NumBits returns the frame length in bits.
+func (e *Emission) NumBits() int { return len(e.Bits) }
+
+// End returns the time of the last bit boundary (frame end).
+func (e *Emission) End() float64 {
+	return e.Start + float64(len(e.Bits))*e.BitPeriod
+}
+
+// Emit simulates one epoch of the tag: draws the comparator fire time
+// and the clock drift for this power-up, then lays out the toggle
+// sequence under toggle-on-1 modulation (bit 1 toggles the antenna at
+// the bit boundary; bit 0 holds — the encoding implied by the paper's
+// {↑, ↓, −₊, −₋} Viterbi states).
+func Emit(cfg Config, src *rng.Source) *Emission {
+	start := cfg.Comparator.FireTime(src)
+	period := 1 / cfg.BitRate
+	if cfg.ClockPPM > 0 {
+		period *= src.PPM(cfg.ClockPPM)
+	}
+	bits := cfg.FrameBits()
+	em := &Emission{TagID: cfg.ID, Start: start, BitPeriod: period, Bits: bits}
+	state := byte(0)
+	for k, b := range bits {
+		if b == 1 {
+			state ^= 1
+			em.Toggles = append(em.Toggles, Toggle{Time: start + float64(k)*period, State: state})
+		}
+	}
+	// Return the antenna to detuned at frame end so the tag stops
+	// reflecting between frames.
+	if state == 1 {
+		em.Toggles = append(em.Toggles, Toggle{Time: em.End(), State: 0})
+	}
+	return em
+}
+
+// StateAt returns the antenna state at time t using binary search over
+// the toggle sequence.
+func (e *Emission) StateAt(t float64) byte {
+	i := sort.Search(len(e.Toggles), func(i int) bool { return e.Toggles[i].Time > t })
+	if i == 0 {
+		return 0
+	}
+	return e.Toggles[i-1].State
+}
+
+// EdgeTimes returns the toggle times (the ground-truth edge positions).
+func (e *Emission) EdgeTimes() []float64 {
+	out := make([]float64, len(e.Toggles))
+	for i, tg := range e.Toggles {
+		out[i] = tg.Time
+	}
+	return out
+}
+
+// DecodeToggles inverts toggle-on-1 modulation given perfect knowledge
+// of the bit grid: it returns the bit sequence implied by whether a
+// toggle occurs at each boundary. Used by tests as the ground-truth
+// inverse of Emit.
+func DecodeToggles(em *Emission) []byte {
+	bits := make([]byte, len(em.Bits))
+	ti := 0
+	for k := range bits {
+		boundary := em.Start + float64(k)*em.BitPeriod
+		// A toggle belongs to boundary k if it is within half a period.
+		for ti < len(em.Toggles) && em.Toggles[ti].Time < boundary-em.BitPeriod/2 {
+			ti++
+		}
+		if ti < len(em.Toggles) {
+			dt := em.Toggles[ti].Time - boundary
+			if dt < em.BitPeriod/2 && dt > -em.BitPeriod/2 {
+				bits[k] = 1
+				ti++
+			}
+		}
+	}
+	return bits
+}

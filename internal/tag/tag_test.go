@@ -1,0 +1,157 @@
+package tag
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lf/internal/rng"
+)
+
+func TestFrameBitsLayout(t *testing.T) {
+	c := Config{Payload: []byte{1, 0, 1}}
+	bits := c.FrameBits()
+	if len(bits) != PreambleLen+DelimiterLen+3 {
+		t.Fatalf("frame length %d", len(bits))
+	}
+	for i := 0; i < PreambleLen; i++ {
+		if bits[i] != 1 {
+			t.Fatalf("preamble bit %d = %d", i, bits[i])
+		}
+	}
+	if bits[PreambleLen] != 0 {
+		t.Fatal("delimiter must be 0")
+	}
+	if bits[PreambleLen+1] != 1 || bits[PreambleLen+2] != 0 || bits[PreambleLen+3] != 1 {
+		t.Fatal("payload bits corrupted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Config{ID: 0, BitRate: 100e3, Payload: []byte{0, 1}}
+	if err := good.Validate(100); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := Config{BitRate: 0}
+	if bad.Validate(100) == nil {
+		t.Fatal("zero rate accepted")
+	}
+	offGrid := Config{BitRate: 150} // not a multiple of 100
+	if offGrid.Validate(100) == nil {
+		t.Fatal("non-multiple rate accepted")
+	}
+	nonBit := Config{BitRate: 100e3, Payload: []byte{2}}
+	if nonBit.Validate(100) == nil {
+		t.Fatal("non-bit payload accepted")
+	}
+}
+
+func TestEmitTogglesOnOnes(t *testing.T) {
+	src := rng.New(1)
+	cfg := Config{BitRate: 100e3, Comparator: DefaultComparator(), Payload: []byte{1, 0, 0, 1, 1, 0}}
+	em := Emit(cfg, src)
+	// Toggle count: preamble(6 ones) + payload ones(3) = 9, plus the
+	// trailing detune if the antenna ended tuned.
+	ones := PreambleLen + 3
+	wantToggles := ones
+	if ones%2 == 1 {
+		wantToggles++ // trailing return-to-detuned toggle
+	}
+	if len(em.Toggles) != wantToggles {
+		t.Fatalf("toggles = %d, want %d", len(em.Toggles), wantToggles)
+	}
+	// Final state must be detuned.
+	if em.Toggles[len(em.Toggles)-1].State != 0 {
+		t.Fatal("tag must end detuned")
+	}
+	// Toggle times are strictly increasing.
+	for i := 1; i < len(em.Toggles); i++ {
+		if em.Toggles[i].Time <= em.Toggles[i-1].Time {
+			t.Fatal("toggle times not increasing")
+		}
+	}
+}
+
+func TestEmitDecodeRoundTrip(t *testing.T) {
+	src := rng.New(2)
+	f := func(raw []byte) bool {
+		if len(raw) == 0 || len(raw) > 200 {
+			return true
+		}
+		payload := make([]byte, len(raw))
+		for i, b := range raw {
+			payload[i] = b & 1
+		}
+		cfg := Config{BitRate: 100e3, ClockPPM: 150, Comparator: DefaultComparator(), Payload: payload}
+		em := Emit(cfg, src)
+		decoded := DecodeToggles(em)
+		if len(decoded) != len(em.Bits) {
+			return false
+		}
+		for i := range decoded {
+			if decoded[i] != em.Bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateAt(t *testing.T) {
+	em := &Emission{
+		Toggles: []Toggle{{Time: 1, State: 1}, {Time: 2, State: 0}},
+	}
+	if em.StateAt(0.5) != 0 {
+		t.Fatal("state before first toggle should be 0")
+	}
+	if em.StateAt(1.5) != 1 {
+		t.Fatal("state between toggles should be 1")
+	}
+	if em.StateAt(3) != 0 {
+		t.Fatal("state after last toggle should be 0")
+	}
+}
+
+func TestEmissionEnd(t *testing.T) {
+	src := rng.New(3)
+	cfg := Config{BitRate: 1000, Comparator: DefaultComparator(), Payload: []byte{1, 1}}
+	em := Emit(cfg, src)
+	wantBits := PreambleLen + DelimiterLen + 2
+	want := em.Start + float64(wantBits)*em.BitPeriod
+	if em.End() != want {
+		t.Fatalf("End = %v, want %v", em.End(), want)
+	}
+	if em.NumBits() != wantBits {
+		t.Fatalf("NumBits = %d", em.NumBits())
+	}
+}
+
+func TestClockDriftBounded(t *testing.T) {
+	src := rng.New(4)
+	for i := 0; i < 200; i++ {
+		cfg := Config{BitRate: 100e3, ClockPPM: 150, Comparator: DefaultComparator(), Payload: []byte{1}}
+		em := Emit(cfg, src)
+		nominal := 1 / cfg.BitRate
+		drift := (em.BitPeriod - nominal) / nominal * 1e6
+		if drift > 150 || drift < -150 {
+			t.Fatalf("drift %v ppm outside ±150", drift)
+		}
+	}
+}
+
+func TestEdgeTimesMatchToggles(t *testing.T) {
+	src := rng.New(5)
+	cfg := Config{BitRate: 100e3, Comparator: DefaultComparator(), Payload: []byte{1, 0, 1}}
+	em := Emit(cfg, src)
+	times := em.EdgeTimes()
+	if len(times) != len(em.Toggles) {
+		t.Fatal("EdgeTimes length mismatch")
+	}
+	for i := range times {
+		if times[i] != em.Toggles[i].Time {
+			t.Fatal("EdgeTimes values mismatch")
+		}
+	}
+}

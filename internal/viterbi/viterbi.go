@@ -1,0 +1,254 @@
+// Package viterbi implements the error-correction stage of the decoder
+// (§3.5): a maximum-likelihood sequence estimator over the four edge
+// states {↑, ↓, −₊, −₋}. The physics of toggle modulation forbids two
+// rising (or two falling) edges in a row; the Viterbi decoder encodes
+// that constraint and combines it with the analog IQ differential
+// observed at each bit slot to correct missed and spurious edges
+// without any tag-side coding.
+package viterbi
+
+import (
+	"math"
+)
+
+// State is one of the four edge states.
+type State int
+
+const (
+	// Up is a rising edge at this slot (bit 1, antenna goes tuned).
+	Up State = iota
+	// Down is a falling edge at this slot (bit 1, antenna goes detuned).
+	Down
+	// HoldAfterUp: no edge; the most recent edge was rising (−₊).
+	HoldAfterUp
+	// HoldAfterDown: no edge; the most recent edge was falling (−₋).
+	HoldAfterDown
+
+	numStates = 4
+)
+
+// String returns the paper's notation for the state.
+func (s State) String() string {
+	switch s {
+	case Up:
+		return "↑"
+	case Down:
+		return "↓"
+	case HoldAfterUp:
+		return "-+"
+	case HoldAfterDown:
+		return "--"
+	}
+	return "?"
+}
+
+// Bit returns the transmitted bit the state implies: edges are 1s,
+// holds are 0s (toggle-on-1 modulation).
+func (s State) Bit() byte {
+	if s == Up || s == Down {
+		return 1
+	}
+	return 0
+}
+
+// neginf is the log probability of a forbidden transition.
+var neginf = math.Inf(-1)
+
+// Decoder is a 4-state edge-constraint Viterbi decoder. Construct with
+// NewDecoder, then call Decode once per stream.
+type Decoder struct {
+	logTrans [numStates][numStates]float64
+	logInit  [numStates]float64
+}
+
+// NewDecoder builds a decoder. p1 is the prior probability that a slot
+// carries a 1 bit (an edge); 0.5 for unbiased data. prev is the
+// polarity of the edge immediately before the decoded window (the last
+// preamble edge), which pins the initial state distribution.
+func NewDecoder(p1 float64, prev State) *Decoder {
+	if p1 <= 0 || p1 >= 1 {
+		p1 = 0.5
+	}
+	d := &Decoder{}
+	lp1 := math.Log(p1)
+	lp0 := math.Log(1 - p1)
+	for from := 0; from < numStates; from++ {
+		for to := 0; to < numStates; to++ {
+			d.logTrans[from][to] = neginf
+		}
+	}
+	// After a rising edge (or a hold that followed one) the antenna is
+	// tuned: the next event is either a falling edge (bit 1) or a hold
+	// that remembers the rising edge (bit 0). Symmetrically for
+	// falling.
+	d.logTrans[Up][Down] = lp1
+	d.logTrans[Up][HoldAfterUp] = lp0
+	d.logTrans[HoldAfterUp][Down] = lp1
+	d.logTrans[HoldAfterUp][HoldAfterUp] = lp0
+	d.logTrans[Down][Up] = lp1
+	d.logTrans[Down][HoldAfterDown] = lp0
+	d.logTrans[HoldAfterDown][Up] = lp1
+	d.logTrans[HoldAfterDown][HoldAfterDown] = lp0
+
+	for s := 0; s < numStates; s++ {
+		d.logInit[s] = neginf
+	}
+	switch prev {
+	case Up, HoldAfterUp:
+		d.logInit[Down] = lp1
+		d.logInit[HoldAfterUp] = lp0
+	default:
+		d.logInit[Up] = lp1
+		d.logInit[HoldAfterDown] = lp0
+	}
+	return d
+}
+
+// Emission models the observation likelihood at one slot: the IQ
+// differential observed there, as a complex Gaussian around +e (Up),
+// −e (Down) or 0 (holds) with total variance sigma2.
+type Emission struct {
+	// Obs is the observed IQ differential at the slot.
+	Obs complex128
+	// E is the stream's rising-edge vector at this slot.
+	E complex128
+	// Sigma2 is the complex noise variance of the observation.
+	Sigma2 float64
+}
+
+// logLik returns log p(obs | state).
+func (e Emission) logLik(s State) float64 {
+	var mu complex128
+	switch s {
+	case Up:
+		mu = e.E
+	case Down:
+		mu = -e.E
+	}
+	dr := real(e.Obs) - real(mu)
+	di := imag(e.Obs) - imag(mu)
+	s2 := e.Sigma2
+	if s2 <= 0 {
+		s2 = 1e-12
+	}
+	return -(dr*dr + di*di) / s2
+}
+
+// Decode runs the Viterbi recursion over the per-slot emissions and
+// returns the most likely state sequence.
+func (d *Decoder) Decode(emissions []Emission) []State {
+	n := len(emissions)
+	if n == 0 {
+		return nil
+	}
+	// score[s] is the best log score of any path ending in state s.
+	var score, next [numStates]float64
+	back := make([][numStates]int8, n)
+	for s := 0; s < numStates; s++ {
+		score[s] = d.logInit[s] + emissions[0].logLik(State(s))
+	}
+	for t := 1; t < n; t++ {
+		for to := 0; to < numStates; to++ {
+			best := neginf
+			bestFrom := 0
+			for from := 0; from < numStates; from++ {
+				v := score[from] + d.logTrans[from][to]
+				if v > best {
+					best = v
+					bestFrom = from
+				}
+			}
+			next[to] = best + emissions[t].logLik(State(to))
+			back[t][to] = int8(bestFrom)
+		}
+		score = next
+	}
+	// Backtrack from the best final state.
+	bestState := 0
+	for s := 1; s < numStates; s++ {
+		if score[s] > score[bestState] {
+			bestState = s
+		}
+	}
+	states := make([]State, n)
+	states[n-1] = State(bestState)
+	for t := n - 1; t > 0; t-- {
+		bestState = int(back[t][bestState])
+		states[t-1] = State(bestState)
+	}
+	return states
+}
+
+// Bits converts a state sequence to the decoded bit sequence.
+func Bits(states []State) []byte {
+	bits := make([]byte, len(states))
+	for i, s := range states {
+		bits[i] = s.Bit()
+	}
+	return bits
+}
+
+// Valid reports whether a state sequence satisfies the edge-alternation
+// constraints given the previous edge polarity. Used by property tests:
+// Decode must never emit an invalid sequence.
+func Valid(states []State, prev State) bool {
+	level := byte(0)
+	if prev == Up || prev == HoldAfterUp {
+		level = 1
+	}
+	for _, s := range states {
+		switch s {
+		case Up:
+			if level == 1 {
+				return false
+			}
+			level = 1
+		case Down:
+			if level == 0 {
+				return false
+			}
+			level = 0
+		case HoldAfterUp:
+			if level != 1 {
+				return false
+			}
+		case HoldAfterDown:
+			if level != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HardDecode is the no-Viterbi fallback used by the Fig. 9 ablation:
+// each slot is decided independently by nearest mean (+e, −e, 0), with
+// no sequence constraints.
+func HardDecode(emissions []Emission) []State {
+	states := make([]State, len(emissions))
+	level := byte(0)
+	for i, em := range emissions {
+		dUp := sq(em.Obs - em.E)
+		dDown := sq(em.Obs + em.E)
+		dHold := sq(em.Obs)
+		switch {
+		case dUp <= dDown && dUp <= dHold:
+			states[i] = Up
+			level = 1
+		case dDown <= dUp && dDown <= dHold:
+			states[i] = Down
+			level = 0
+		default:
+			if level == 1 {
+				states[i] = HoldAfterUp
+			} else {
+				states[i] = HoldAfterDown
+			}
+		}
+	}
+	return states
+}
+
+func sq(x complex128) float64 {
+	return real(x)*real(x) + imag(x)*imag(x)
+}

@@ -1,0 +1,196 @@
+package viterbi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lf/internal/rng"
+)
+
+var testE = complex(5e-4, 3e-4)
+
+// emit builds the observation sequence for a bit string under
+// toggle-on-1 modulation starting from a detuned antenna, with optional
+// per-slot noise.
+func emit(bits []byte, sigma2 float64, src *rng.Source) []Emission {
+	out := make([]Emission, len(bits))
+	level := byte(0)
+	for i, b := range bits {
+		var obs complex128
+		if b == 1 {
+			if level == 0 {
+				obs = testE
+				level = 1
+			} else {
+				obs = -testE
+				level = 0
+			}
+		}
+		if src != nil {
+			obs += src.ComplexNorm(sigma2)
+		}
+		out[i] = Emission{Obs: obs, E: testE, Sigma2: sigma2 + 1e-12}
+		_ = i
+	}
+	return out
+}
+
+func TestStateBitMapping(t *testing.T) {
+	if Up.Bit() != 1 || Down.Bit() != 1 {
+		t.Fatal("edges must decode as 1")
+	}
+	if HoldAfterUp.Bit() != 0 || HoldAfterDown.Bit() != 0 {
+		t.Fatal("holds must decode as 0")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Up: "↑", Down: "↓", HoldAfterUp: "-+", HoldAfterDown: "--"} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestDecodeCleanSequence(t *testing.T) {
+	bits := []byte{1, 0, 0, 0, 0, 1, 1, 0, 1, 0} // the paper's Table 1 pattern
+	emissions := emit(bits, 1e-12, nil)
+	states := NewDecoder(0.5, Down).Decode(emissions)
+	got := Bits(states)
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("bit %d: got %d want %d (states %v)", i, got[i], bits[i], states)
+		}
+	}
+}
+
+func TestDecodeCorrectsSpuriousEdge(t *testing.T) {
+	// A hold slot polluted by a same-polarity edge observation: the
+	// alternation constraint must override it.
+	bits := []byte{1, 0, 1}
+	emissions := emit(bits, 1e-9, nil)
+	// Corrupt slot 1 with a rising-edge-looking observation; a rising
+	// edge cannot follow the rising edge at slot 0.
+	emissions[1].Obs = testE * complex(0.9, 0)
+	states := NewDecoder(0.5, Down).Decode(emissions)
+	if states[0] != Up {
+		t.Fatalf("slot 0 decoded %v", states[0])
+	}
+	if states[1] == Up {
+		t.Fatal("decoder emitted ↑ after ↑")
+	}
+}
+
+func TestDecodeNeverEmitsInvalidSequences(t *testing.T) {
+	src := rng.New(7)
+	f := func(seed int64, n uint8) bool {
+		s := rng.New(seed)
+		length := int(n%50) + 2
+		emissions := make([]Emission, length)
+		for i := range emissions {
+			// Arbitrary noisy observations, including nonsense.
+			emissions[i] = Emission{
+				Obs:    s.ComplexNorm(1e-7),
+				E:      testE,
+				Sigma2: 1e-8,
+			}
+		}
+		states := NewDecoder(0.5, Down).Decode(emissions)
+		return Valid(states, Down)
+	}
+	_ = src
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeNoisyRoundTrip(t *testing.T) {
+	src := rng.New(11)
+	sigma2 := (5e-5) * (5e-5) // SNR ~20 dB against |e|
+	errs, total := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		bits := src.Bits(100)
+		emissions := emit(bits, sigma2, src)
+		got := Bits(NewDecoder(0.5, Down).Decode(emissions))
+		for i := range bits {
+			total++
+			if got[i] != bits[i] {
+				errs++
+			}
+		}
+	}
+	if errs > total/100 {
+		t.Fatalf("noisy decode errors %d/%d", errs, total)
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Valid([]State{Up, Down, Up}, Down) {
+		t.Fatal("alternating sequence rejected")
+	}
+	if Valid([]State{Up, Up}, Down) {
+		t.Fatal("↑↑ accepted")
+	}
+	if Valid([]State{Up, HoldAfterDown}, Down) {
+		t.Fatal("hold state inconsistent with level accepted")
+	}
+	if !Valid([]State{HoldAfterDown, Up, HoldAfterUp, Down}, Down) {
+		t.Fatal("valid mixed sequence rejected")
+	}
+	// Starting level from prev=Up means the first edge must be Down.
+	if Valid([]State{Up}, Up) {
+		t.Fatal("↑ after ↑ accepted via prev")
+	}
+}
+
+func TestHardDecode(t *testing.T) {
+	bits := []byte{1, 1, 0, 1}
+	emissions := emit(bits, 1e-12, nil)
+	states := HardDecode(emissions)
+	got := Bits(states)
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("hard decode bit %d: %d want %d", i, got[i], bits[i])
+		}
+	}
+}
+
+func TestViterbiBeatsHardDecodeUnderNoise(t *testing.T) {
+	src := rng.New(13)
+	sigma2 := (2.4e-4) * (2.4e-4) // low SNR: |e|/σ ≈ 2.4
+	hardErrs, vitErrs, total := 0, 0, 0
+	for trial := 0; trial < 40; trial++ {
+		bits := src.Bits(80)
+		emissions := emit(bits, sigma2, src)
+		hard := Bits(HardDecode(emissions))
+		vit := Bits(NewDecoder(0.5, Down).Decode(emissions))
+		for i := range bits {
+			total++
+			if hard[i] != bits[i] {
+				hardErrs++
+			}
+			if vit[i] != bits[i] {
+				vitErrs++
+			}
+		}
+	}
+	if vitErrs >= hardErrs {
+		t.Fatalf("Viterbi (%d errs) did not beat hard decoding (%d errs) over %d bits",
+			vitErrs, hardErrs, total)
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	if got := NewDecoder(0.5, Down).Decode(nil); got != nil {
+		t.Fatal("empty decode should be nil")
+	}
+}
+
+func TestBiasedPrior(t *testing.T) {
+	// With a strong 0-bias, an ambiguous observation decodes as hold.
+	emissions := []Emission{{Obs: testE * complex(0.5, 0), E: testE, Sigma2: 1e-7}}
+	biased := NewDecoder(0.02, Down).Decode(emissions)
+	if biased[0].Bit() != 0 {
+		t.Fatalf("bias ignored: %v", biased[0])
+	}
+}

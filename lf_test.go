@@ -1,0 +1,290 @@
+package lf
+
+import (
+	"bytes"
+	"testing"
+
+	"lf/internal/epc"
+)
+
+// TestSingleTagPerfectDecode is the end-to-end smoke test: one tag at
+// 100 kbps, default channel, full pipeline — the payload must decode
+// without errors.
+func TestSingleTagPerfectDecode(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{
+		NumTags:        1,
+		PayloadSeconds: 2e-3, // 200 bits
+		Seed:           42,
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	ep, err := net.RunEpoch()
+	if err != nil {
+		t.Fatalf("RunEpoch: %v", err)
+	}
+	dec, err := NewDecoder(net.DecoderConfig())
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	res, err := dec.Decode(ep)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(res.Streams) != 1 {
+		t.Fatalf("registered %d streams, want 1 (edges=%d, floor=%g)", len(res.Streams), res.EdgeCount, res.NoiseFloor)
+	}
+	score := ScoreEpoch(ep, res)
+	if score.Registered != 1 {
+		t.Fatalf("tag not matched to stream: %+v", score)
+	}
+	if score.PerTag[0].BitErrors != 0 {
+		t.Fatalf("bit errors: %d of %d", score.PerTag[0].BitErrors, score.PerTag[0].PayloadBits)
+	}
+}
+
+// TestFourTagsConcurrent checks that four concurrent 100 kbps tags all
+// register and decode with low error.
+func TestFourTagsConcurrent(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{
+		NumTags:        4,
+		PayloadSeconds: 2e-3,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	ep, err := net.RunEpoch()
+	if err != nil {
+		t.Fatalf("RunEpoch: %v", err)
+	}
+	dec, err := NewDecoder(net.DecoderConfig())
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	res, err := dec.Decode(ep)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	score := ScoreEpoch(ep, res)
+	if score.Registered < 4 {
+		t.Fatalf("registered %d/4 tags (streams=%d edges=%d)", score.Registered, len(res.Streams), res.EdgeCount)
+	}
+	if ber := score.BER(); ber > 0.02 {
+		t.Fatalf("BER %.4f > 0.02", ber)
+	}
+}
+
+// TestHeterogeneousRates: a slow sensor and a fast streamer coexist in
+// one epoch, both decoding — the paper's headline flexibility claim.
+func TestHeterogeneousRates(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{
+		BitRates:       []float64{2e3, 100e3},
+		PayloadSeconds: 10e-3,
+		Seed:           11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := net.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(net.DecoderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dec.Decode(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := ScoreEpoch(ep, res)
+	if score.Registered != 2 {
+		t.Fatalf("registered %d/2 (streams=%d)", score.Registered, len(res.Streams))
+	}
+	for _, ts := range score.PerTag {
+		if ts.BitErrors > ts.PayloadBits/20 {
+			t.Fatalf("tag %d errors %d/%d", ts.TagID, ts.BitErrors, ts.PayloadBits)
+		}
+	}
+}
+
+// TestIdentificationRoundTrip transmits EPC frames and recovers the IDs
+// through CRC validation — the §5.2 protocol.
+func TestIdentificationRoundTrip(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{NumTags: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcIDs := make([]epc.ID, 4)
+	for i := range srcIDs {
+		srcIDs[i] = epc.ID{byte(i + 1), 0xAB, byte(i * 7)}
+		if err := net.SetPayload(i, srcIDs[i].Frame()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	found := map[epc.ID]bool{}
+	dec, err := NewDecoder(net.DecoderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 6 && len(found) < 4; epoch++ {
+		ep, err := net.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dec.Decode(ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sr := range res.Streams {
+			if id, ok := epc.ParseFrame(sr.Bits); ok {
+				found[id] = true
+			}
+		}
+	}
+	for _, id := range srcIDs {
+		if !found[id] {
+			t.Fatalf("EPC %v never identified (found %d)", id, len(found))
+		}
+	}
+}
+
+func TestNetworkConfigValidation(t *testing.T) {
+	if _, err := NewNetwork(NetworkConfig{NumTags: 2, BitRates: []float64{1, 2, 3}}); err == nil {
+		t.Fatal("mismatched rates accepted")
+	}
+	if _, err := NewNetwork(NetworkConfig{BitRates: []float64{150}}); err == nil {
+		t.Fatal("non-multiple-of-base rate accepted")
+	}
+}
+
+func TestNetworkDefaults(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{NumTags: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Tags()) != 3 {
+		t.Fatalf("tags = %d", len(net.Tags()))
+	}
+	if got := net.EpochConfig().SampleRate; got != 25e6 {
+		t.Fatalf("sample rate default %v", got)
+	}
+	rates := net.Rates()
+	if len(rates) != 1 || rates[0] != 100e3 {
+		t.Fatalf("rates = %v", rates)
+	}
+	if len(net.Channel().Coeffs) != 3 {
+		t.Fatal("channel coefficients missing")
+	}
+}
+
+func TestSetPayloadBounds(t *testing.T) {
+	net, _ := NewNetwork(NetworkConfig{NumTags: 1, Seed: 1})
+	if err := net.SetPayload(5, []byte{1}); err == nil {
+		t.Fatal("out-of-range tag accepted")
+	}
+	if err := net.SetPayload(0, []byte{1, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := net.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 preamble + 1 delimiter + 3 payload bits.
+	if got := len(ep.Emissions[0].Bits); got != 10 {
+		t.Fatalf("frame bits = %d", got)
+	}
+}
+
+func TestDecoderConfigValidation(t *testing.T) {
+	if _, err := NewDecoder(DecoderConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := NewDecoder(DecoderConfig{SampleRate: 25e6}); err == nil {
+		t.Fatal("missing PayloadBits accepted")
+	}
+}
+
+func TestDecodeCapture(t *testing.T) {
+	net, _ := NewNetwork(NetworkConfig{NumTags: 1, PayloadSeconds: 1e-3, Seed: 9})
+	ep, err := net.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(net.DecoderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dec.DecodeCapture(ep.Capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Streams) != 1 {
+		t.Fatalf("streams = %d", len(res.Streams))
+	}
+}
+
+func TestCaptureRecordReplay(t *testing.T) {
+	net, _ := NewNetwork(NetworkConfig{NumTags: 2, PayloadSeconds: 1e-3, Seed: 8})
+	ep, err := net.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCapture(&buf, ep); err != nil {
+		t.Fatal(err)
+	}
+	capture, err := ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := NewDecoder(net.DecoderConfig())
+	live, err := dec.Decode(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := dec.DecodeCapture(capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live.Streams) != len(replayed.Streams) {
+		t.Fatalf("live %d streams, replay %d", len(live.Streams), len(replayed.Streams))
+	}
+	for i := range live.Streams {
+		a, b := live.Streams[i].Bits, replayed.Streams[i].Bits
+		if len(a) != len(b) {
+			t.Fatal("replayed decode length differs")
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatal("replayed decode bits differ")
+			}
+		}
+	}
+}
+
+func TestOfferedBps(t *testing.T) {
+	net, _ := NewNetwork(NetworkConfig{NumTags: 2, PayloadSeconds: 2e-3, Seed: 3})
+	ep, err := net.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offered := OfferedBps(ep)
+	// Two 100 kbps tags minus preamble/jitter overhead: somewhere in
+	// (100, 200) kbps for a 2 ms payload epoch.
+	if offered < 100e3 || offered > 200e3 {
+		t.Fatalf("offered = %v", offered)
+	}
+}
+
+func TestEpochsDifferAcrossRuns(t *testing.T) {
+	net, _ := NewNetwork(NetworkConfig{NumTags: 1, PayloadSeconds: 1e-3, Seed: 4})
+	ep1, _ := net.RunEpoch()
+	ep2, _ := net.RunEpoch()
+	// Fresh comparator draws: the start offsets should differ between
+	// epochs (re-randomization is what makes retransmission work).
+	if ep1.Emissions[0].Start == ep2.Emissions[0].Start {
+		t.Fatal("epochs reused the same comparator offset")
+	}
+}

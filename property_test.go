@@ -1,0 +1,92 @@
+package lf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertySingleTagAlwaysDecodes is the system-level invariant the
+// whole pipeline hangs on: for any seed, payload size and valid rate,
+// a lone tag at nominal SNR decodes its payload exactly.
+func TestPropertySingleTagAlwaysDecodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64, sizeSel, rateSel uint8) bool {
+		rates := []float64{10e3, 50e3, 100e3, 200e3}
+		rate := rates[int(rateSel)%len(rates)]
+		payload := 50 + int(sizeSel)%200
+		net, err := NewNetwork(NetworkConfig{
+			NumTags:     1,
+			BitRates:    []float64{rate},
+			PayloadBits: []int{payload},
+			Seed:        seed,
+		})
+		if err != nil {
+			return false
+		}
+		ep, err := net.RunEpoch()
+		if err != nil {
+			return false
+		}
+		dec, err := NewDecoder(net.DecoderConfig())
+		if err != nil {
+			return false
+		}
+		res, err := dec.Decode(ep)
+		if err != nil {
+			return false
+		}
+		score := ScoreEpoch(ep, res)
+		return score.Registered == 1 && score.PerTag[0].BitErrors == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyScoreNeverExceedsOffered: the harness can never report
+// more correct bits than were transmitted, at any network size.
+func TestPropertyScoreNeverExceedsOffered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64, nSel uint8) bool {
+		n := 1 + int(nSel)%6
+		net, err := NewNetwork(NetworkConfig{NumTags: n, PayloadSeconds: 1e-3, Seed: seed})
+		if err != nil {
+			return false
+		}
+		ep, err := net.RunEpoch()
+		if err != nil {
+			return false
+		}
+		dec, err := NewDecoder(net.DecoderConfig())
+		if err != nil {
+			return false
+		}
+		res, err := dec.Decode(ep)
+		if err != nil {
+			return false
+		}
+		score := ScoreEpoch(ep, res)
+		if score.CorrectBits > score.TotalBits {
+			return false
+		}
+		if score.Registered > len(ep.Emissions) {
+			return false
+		}
+		for _, ts := range score.PerTag {
+			if ts.CorrectBits+ts.BitErrors < ts.PayloadBits && ts.Registered {
+				// Correct + errors may exceed payload (length
+				// mismatches double-count) but never undercount.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package lf
+
+import (
+	"math"
+	"sort"
+
+	"lf/internal/decoder"
+	"lf/internal/tag"
+)
+
+// TagScore is the per-tag outcome of one decoded epoch.
+type TagScore struct {
+	// TagID indexes the network's tags.
+	TagID int
+	// Registered reports whether a decoded stream matched this tag.
+	Registered bool
+	// StreamID is the matched stream index (-1 if unregistered).
+	StreamID int
+	// BitErrors over the payload (the whole payload counts as errors
+	// if the tag went unregistered).
+	BitErrors int
+	// PayloadBits transmitted.
+	PayloadBits int
+	// CorrectBits delivered.
+	CorrectBits int
+}
+
+// Score summarizes one decoded epoch against ground truth.
+type Score struct {
+	PerTag []TagScore
+	// TotalBits transmitted across all tags.
+	TotalBits int
+	// CorrectBits delivered across all tags.
+	CorrectBits int
+	// Registered counts tags whose stream was found.
+	Registered int
+	// SpuriousStreams counts decoded streams matching no tag.
+	SpuriousStreams int
+	// EpochSeconds is the capture duration.
+	EpochSeconds float64
+	// AggregateBps is CorrectBits / EpochSeconds.
+	AggregateBps float64
+}
+
+// BER returns the payload bit error rate across all tags (unregistered
+// tags count all their bits as errors).
+func (s Score) BER() float64 {
+	if s.TotalBits == 0 {
+		return 0
+	}
+	return float64(s.TotalBits-s.CorrectBits) / float64(s.TotalBits)
+}
+
+// ScoreEpoch matches decoded streams to the epoch's ground-truth
+// emissions and scores the payload bits. Matching runs in two phases:
+// by anchor offset and rate first; then, for tags whose frames fully
+// merged with another tag's (the decoder splits those into sibling
+// streams sharing one slot grid), by content with a small slot-shift
+// alignment search.
+func ScoreEpoch(ep *Epoch, res *Result) Score {
+	fs := ep.Config.SampleRate
+	score := Score{EpochSeconds: ep.Capture.Duration()}
+	streamUsed := make([]bool, len(res.Streams))
+	scores := make([]TagScore, len(ep.Emissions))
+
+	// Phase 1: offset + rate, assigned globally by ascending distance
+	// so a tag with a missing stream cannot steal a neighbour's.
+	type cand struct {
+		ti, si int
+		dist   float64
+	}
+	var cands []cand
+	for ti, em := range ep.Emissions {
+		payload := em.Bits[tag.FrameOverhead:]
+		scores[ti] = TagScore{TagID: em.TagID, StreamID: -1, PayloadBits: len(payload)}
+		score.TotalBits += len(payload)
+		period := fs * em.BitPeriod
+		for i, sr := range res.Streams {
+			if !rateMatches(sr.Stream.Rate, em.BitPeriod) {
+				continue
+			}
+			anchor := em.Start * fs // first preamble edge position
+			if d := math.Abs(sr.Stream.Offset - anchor); d < period/2 {
+				cands = append(cands, cand{ti, i, d})
+			}
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+	for _, c := range cands {
+		if scores[c.ti].Registered || streamUsed[c.si] {
+			continue
+		}
+		payload := ep.Emissions[c.ti].Bits[tag.FrameOverhead:]
+		claimStream(&scores[c.ti], res.Streams[c.si], c.si, payload, 0)
+		streamUsed[c.si] = true
+	}
+
+	// Phase 2: content matching with ±2-slot alignment for leftovers.
+	for ti, em := range ep.Emissions {
+		if scores[ti].Registered {
+			continue
+		}
+		payload := em.Bits[tag.FrameOverhead:]
+		bestIdx, bestShift, bestErrs := -1, 0, len(payload)/4 // require a clearly better-than-chance match
+		for i, sr := range res.Streams {
+			if streamUsed[i] || !rateMatches(sr.Stream.Rate, em.BitPeriod) {
+				continue
+			}
+			for shift := -6; shift <= 6; shift++ {
+				errs := shiftedErrors(sr.Bits, payload, shift)
+				if errs < bestErrs {
+					bestIdx, bestShift, bestErrs = i, shift, errs
+				}
+			}
+		}
+		if bestIdx >= 0 {
+			claimStream(&scores[ti], res.Streams[bestIdx], bestIdx, payload, bestShift)
+			streamUsed[bestIdx] = true
+		}
+	}
+
+	for ti := range scores {
+		if scores[ti].Registered {
+			score.Registered++
+		} else {
+			scores[ti].BitErrors = scores[ti].PayloadBits
+		}
+		score.CorrectBits += scores[ti].CorrectBits
+		score.PerTag = append(score.PerTag, scores[ti])
+	}
+	for _, used := range streamUsed {
+		if !used {
+			score.SpuriousStreams++
+		}
+	}
+	if score.EpochSeconds > 0 {
+		score.AggregateBps = float64(score.CorrectBits) / score.EpochSeconds
+	}
+	return score
+}
+
+func rateMatches(streamRate, bitPeriod float64) bool {
+	return math.Abs(streamRate-1/bitPeriod) <= 0.01/bitPeriod
+}
+
+func claimStream(ts *TagScore, sr *decoder.StreamResult, idx int, payload []byte, shift int) {
+	ts.Registered = true
+	ts.StreamID = idx
+	if shift == 0 {
+		ts.BitErrors = decoder.BitErrors(sr.Bits, payload)
+	} else {
+		ts.BitErrors = shiftedErrors(sr.Bits, payload, shift)
+	}
+	ts.CorrectBits = ts.PayloadBits - ts.BitErrors
+	if ts.CorrectBits < 0 {
+		ts.CorrectBits = 0
+	}
+}
+
+// shiftedErrors compares decoded[i] against truth[i+shift]; positions
+// that fall outside the truth count as errors.
+func shiftedErrors(decoded, truth []byte, shift int) int {
+	errs := 0
+	for i := range decoded {
+		j := i + shift
+		if j < 0 || j >= len(truth) {
+			errs++
+			continue
+		}
+		if decoded[i] != truth[j] {
+			errs++
+		}
+	}
+	if len(truth) > len(decoded) {
+		errs += len(truth) - len(decoded)
+	}
+	return errs
+}
+
+// OfferedBps returns the offered load of the epoch: total payload bits
+// over the capture duration — the "max possible" line of Fig. 8.
+func OfferedBps(ep *Epoch) float64 {
+	total := 0
+	for _, em := range ep.Emissions {
+		total += len(em.Bits) - tag.PreambleLen
+	}
+	d := ep.Capture.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(total) / d
+}

@@ -1,0 +1,82 @@
+package lf
+
+import (
+	"testing"
+)
+
+func TestShiftedErrors(t *testing.T) {
+	decoded := []byte{1, 0, 1}
+	truth := []byte{0, 1, 0, 1}
+	// shift +1 aligns decoded[i] with truth[i+1] = {1,0,1}: 0 errors on
+	// overlap, +1 for the uncovered truth bit.
+	if got := shiftedErrors(decoded, truth, 1); got != 1 {
+		t.Fatalf("shift+1 errors = %d", got)
+	}
+	if got := shiftedErrors(decoded, truth, 0); got != 4 {
+		t.Fatalf("shift0 errors = %d", got)
+	}
+}
+
+func TestRateMatches(t *testing.T) {
+	if !rateMatches(100e3, 1/100.05e3) {
+		t.Fatal("within-tolerance rate rejected")
+	}
+	if rateMatches(100e3, 1/50e3) {
+		t.Fatal("half rate accepted")
+	}
+}
+
+func TestScoreEpochUnregisteredCountsErrors(t *testing.T) {
+	net, _ := NewNetwork(NetworkConfig{NumTags: 1, PayloadSeconds: 1e-3, Seed: 2})
+	ep, err := net.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Score against an empty decode result.
+	score := ScoreEpoch(ep, &Result{})
+	if score.Registered != 0 {
+		t.Fatal("no streams but registered > 0")
+	}
+	if score.CorrectBits != 0 {
+		t.Fatal("no streams but correct bits > 0")
+	}
+	if score.PerTag[0].BitErrors != score.PerTag[0].PayloadBits {
+		t.Fatal("unregistered tag must count all bits as errors")
+	}
+	if score.BER() != 1 {
+		t.Fatalf("BER = %v, want 1", score.BER())
+	}
+}
+
+func TestScoreEpochGreedyMatching(t *testing.T) {
+	// Two tags close in offset: the globally nearest assignment wins;
+	// no tag may steal another's stream.
+	net, _ := NewNetwork(NetworkConfig{NumTags: 2, PayloadSeconds: 2e-3, Seed: 31})
+	ep, err := net.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := NewDecoder(net.DecoderConfig())
+	res, err := dec.Decode(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := ScoreEpoch(ep, res)
+	seen := map[int]bool{}
+	for _, ts := range score.PerTag {
+		if !ts.Registered {
+			continue
+		}
+		if seen[ts.StreamID] {
+			t.Fatal("two tags claimed one stream")
+		}
+		seen[ts.StreamID] = true
+	}
+}
+
+func TestBERZeroTotalBits(t *testing.T) {
+	var s Score
+	if s.BER() != 0 {
+		t.Fatal("empty score BER should be 0")
+	}
+}
