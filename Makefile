@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test race bench benchjson ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race gate exercises the parallel pipeline (decoder fan-out,
+# chunked edge detection, epoch-level experiment workers) under the
+# race detector; the suite's determinism tests run both serial and
+# parallel paths, so this covers every pool in the tree.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+# Machine-readable micro-benchmarks (ns/op, allocs/op, goodput).
+benchjson:
+	$(GO) run ./cmd/lfbench -benchjson BENCH_parallel_pipeline.json
+
+ci: vet build test race bench
+
+clean:
+	$(GO) clean ./...

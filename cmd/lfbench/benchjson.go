@@ -1,0 +1,168 @@
+package main
+
+// Machine-readable micro-benchmarks (-benchjson FILE). The suite
+// measures the hot pipeline stages with testing.Benchmark so the
+// numbers match `go test -bench` semantics (ns/op, B/op, allocs/op),
+// then emits one JSON document that CI or a plotting script can diff
+// across commits without scraping table output.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"lf"
+	"lf/internal/edgedetect"
+)
+
+// benchResult is one benchmark's measurement.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// GoodputBps is the aggregate decoded goodput of the benchmarked
+	// epoch (decode benchmarks only; 0 elsewhere).
+	GoodputBps float64 `json:"goodput_bps,omitempty"`
+}
+
+// benchReport is the top-level JSON document.
+type benchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Seed       int64         `json:"seed"`
+	Benchmarks []benchResult `json:"benchmarks"`
+	// DecodeSpeedup is serial decode ns/op over parallel decode ns/op
+	// on this machine. Meaningful only when GOMAXPROCS > 1.
+	DecodeSpeedup float64 `json:"decode_speedup"`
+}
+
+// benchEpoch builds the fixed 8-tag epoch every decode benchmark runs
+// against.
+func benchEpoch(seed int64) (*lf.Network, *lf.Epoch, error) {
+	net, err := lf.NewNetwork(lf.NetworkConfig{
+		NumTags:        8,
+		PayloadSeconds: 2e-3,
+		Seed:           seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ep, err := net.RunEpoch()
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, ep, nil
+}
+
+// measure runs fn under testing.Benchmark with allocation tracking.
+func measure(name string, fn func(b *testing.B)) benchResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	return benchResult{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// writeBenchJSON runs the suite and writes the report to path.
+func writeBenchJSON(path string, seed int64) error {
+	net, ep, err := benchEpoch(seed)
+	if err != nil {
+		return err
+	}
+
+	// Decoded once outside the timer to record the epoch's goodput.
+	decodeAt := func(parallelism int) (*lf.Result, error) {
+		cfg := net.DecoderConfig()
+		cfg.Parallelism = parallelism
+		dec, err := lf.NewDecoder(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return dec.Decode(ep)
+	}
+	res, err := decodeAt(1)
+	if err != nil {
+		return err
+	}
+	goodput := lf.ScoreEpoch(ep, res).AggregateBps
+
+	report := benchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+	}
+
+	decodeBench := func(name string, parallelism int) benchResult {
+		r := measure(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := decodeAt(parallelism); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		r.GoodputBps = goodput
+		return r
+	}
+	serial := decodeBench("decode/serial", 1)
+	parallel := decodeBench("decode/parallel", 0)
+	report.Benchmarks = append(report.Benchmarks, serial, parallel)
+	if parallel.NsPerOp > 0 {
+		report.DecodeSpeedup = serial.NsPerOp / parallel.NsPerOp
+	}
+
+	edgeBench := func(name string, parallelism int) benchResult {
+		cfg := edgedetect.DefaultConfig()
+		cfg.Parallelism = parallelism
+		return measure(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				det, err := edgedetect.New(ep.Capture, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				det.Release()
+			}
+		})
+	}
+	report.Benchmarks = append(report.Benchmarks,
+		edgeBench("edgedetect/serial", 1),
+		edgeBench("edgedetect/parallel", 0))
+
+	report.Benchmarks = append(report.Benchmarks, measure("synthesize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := net.RunEpoch(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	report.Benchmarks = append(report.Benchmarks, measure("capture/roundtrip", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf writeCounter
+			if _, err := ep.Capture.WriteTo(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeCounter discards writes while counting them, so serialization
+// benchmarks measure marshalling, not disk.
+type writeCounter struct{ n int64 }
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}

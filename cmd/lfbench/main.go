@@ -5,7 +5,7 @@
 // Usage:
 //
 //	lfbench [-exp all|table1|fig1|fig2|fig4|fig5|fig8|fig9|fig10|fig11|fig12|table2|table3|fig13|fig14|ablation]
-//	        [-seed N] [-epochs N] [-quick]
+//	        [-seed N] [-epochs N] [-quick] [-workers N] [-benchjson FILE]
 package main
 
 import (
@@ -28,9 +28,20 @@ func main() {
 	epochs := flag.Int("epochs", 3, "epochs per measured point")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast smoke run")
 	format := flag.String("format", "table", "output format: table or csv")
+	workers := flag.Int("workers", 0, "epoch-level parallelism (0 = all cores, 1 = serial); results are identical at any setting")
+	benchJSON := flag.String("benchjson", "", "run the micro-benchmark suite and write machine-readable results to this file instead of experiments")
 	flag.Parse()
 
-	cfg := experiment.Config{Seed: *seed, Epochs: *epochs, Quick: *quick}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "lfbench: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote benchmark results to %s\n", *benchJSON)
+		return
+	}
+
+	cfg := experiment.Config{Seed: *seed, Epochs: *epochs, Quick: *quick, Workers: *workers}
 	runners := []runner{
 		{"table1", experiment.Table1},
 		{"fig1", experiment.Fig1},

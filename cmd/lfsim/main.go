@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lfsim [-tags N] [-rate bps] [-payload-ms ms] [-seed N] [-v]
+//	lfsim [-tags N] [-rate bps] [-payload-ms ms] [-seed N] [-workers N] [-v]
 package main
 
 import (
@@ -23,6 +23,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-stream detail")
 	record := flag.String("record", "", "write the epoch's IQ capture to this file (LFIQ container)")
 	replay := flag.String("replay", "", "decode a previously recorded capture instead of simulating (scoring unavailable)")
+	workers := flag.Int("workers", 0, "decoder parallelism (0 = all cores, 1 = serial); the decode is bit-identical at any setting")
 	flag.Parse()
 
 	net, err := lf.NewNetwork(lf.NetworkConfig{
@@ -34,7 +35,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	dec, err := lf.NewDecoder(net.DecoderConfig())
+	dcfg := net.DecoderConfig()
+	dcfg.Parallelism = *workers
+	dec, err := lf.NewDecoder(dcfg)
 	if err != nil {
 		fatal(err)
 	}

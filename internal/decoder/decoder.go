@@ -8,6 +8,7 @@ package decoder
 
 import (
 	"fmt"
+	"math/cmplx"
 	"sort"
 
 	"lf/internal/collide"
@@ -16,6 +17,7 @@ import (
 	"lf/internal/rng"
 	"lf/internal/streams"
 	"lf/internal/viterbi"
+	"lf/internal/work"
 )
 
 // SeparationMode selects how two-tag collisions are separated.
@@ -72,6 +74,12 @@ type Config struct {
 	CancellationRounds int
 	// Seed drives the decoder's internal randomness (k-means restarts).
 	Seed int64
+	// Parallelism bounds the worker pool the pipeline fans out on:
+	// chunked edge detection, per-stream walking, merged-pair splitting,
+	// sequence decoding, and SIC reconstruction (0 = all cores,
+	// 1 = serial). Decoder-internal randomness is split per stream in a
+	// fixed order, so the decode is bit-identical at any setting.
+	Parallelism int
 }
 
 // DefaultConfig assembles a full-pipeline decoder for captures at the
@@ -86,6 +94,7 @@ func DefaultConfig(sampleRate float64, rates []float64, payloadBits int) Config 
 		MinBlindPoints:     24,
 		CancellationRounds: 3,
 		Seed:               1,
+		Parallelism:        0,
 	}
 }
 
@@ -133,14 +142,28 @@ type Result struct {
 }
 
 // Decode runs the pipeline over one epoch's capture.
+//
+// The per-stream stages (slot walking, merged-pair splitting, sequence
+// decoding) and the sample-range stages (edge detection, SIC residual
+// subtraction) fan out across a bounded worker pool sized by
+// cfg.Parallelism. Decoder-internal randomness is pre-split into one
+// deterministic source per stream (and one for collision resolution),
+// so the decode is bit-identical at any worker count, including the
+// fully serial Parallelism=1 path.
 func Decode(capture *iq.Capture, cfg Config) (*Result, error) {
 	if cfg.PayloadBits == nil {
 		return nil, fmt.Errorf("decoder: PayloadBits is required")
 	}
-	det, err := edgedetect.New(capture, cfg.Edge)
+	workers := work.Resolve(cfg.Parallelism)
+	ecfg := cfg.Edge
+	if ecfg.Parallelism == 0 {
+		ecfg.Parallelism = workers
+	}
+	det, err := edgedetect.New(capture, ecfg)
 	if err != nil {
 		return nil, err
 	}
+	defer det.Release()
 	sts, err := streams.Register(det.Edges(), cfg.Streams, cfg.PayloadBits)
 	if err != nil {
 		return nil, err
@@ -150,60 +173,54 @@ func Decode(capture *iq.Capture, cfg Config) (*Result, error) {
 
 	// Walk every stream over its whole frame (preamble, delimiter,
 	// payload, plus slack for anchor misestimation); the payload is
-	// aligned on the delimiter after sequence decoding.
+	// aligned on the delimiter after sequence decoding. Streams are
+	// independent once registered, so the walks fan out.
 	results := make([]*StreamResult, len(sts))
-	for i, st := range sts {
+	work.Do(workers, len(sts), func(i int) {
+		st := sts[i]
 		n := streams.FrameSlots(cfg.Streams, cfg.PayloadBits(st.Rate)) + alignSlack
 		results[i] = &StreamResult{Stream: st, Slots: streams.Walk(st, det, cfg.Streams, n)}
-	}
+	})
 
 	if cfg.Stages.IQSeparation {
 		// Split fully merged registrations (two tags on one slot grid)
 		// before cross-stream collision resolution. The re-walked
 		// constituents participate in ordinary collision resolution —
 		// their still-merged slots surface as two-claim edges there.
-		for _, sr := range append([]*StreamResult(nil), results...) {
-			if other, ok := trySplit(sr, det, cfg, src); ok {
+		// Each split attempt draws from its own source, derived here in
+		// index order before the fan-out, so worker scheduling cannot
+		// perturb the k-means restarts.
+		snapshot := append([]*StreamResult(nil), results...)
+		splitSrcs := make([]*rng.Source, len(snapshot))
+		for i := range splitSrcs {
+			splitSrcs[i] = src.Split(fmt.Sprintf("split/%d", i))
+		}
+		others := make([]*StreamResult, len(snapshot))
+		work.Do(workers, len(snapshot), func(i int) {
+			if other, ok := trySplit(snapshot[i], det, cfg, splitSrcs[i]); ok {
+				others[i] = other
+			}
+		})
+		for _, other := range others {
+			if other != nil {
 				results = append(results, other)
 				res.MergedSplits++
 			}
 		}
-		resolveCollisions(results, cfg, src, res)
+		// Collision groups rewrite slot observations across streams, so
+		// this stage stays serial (it is cheap relative to the walks).
+		resolveCollisions(results, cfg, src.Split("collisions"), res)
 	}
 
-	// Per-stream sequence decoding.
+	// Per-stream sequence decoding: pure per stream, fan out.
 	sigma2 := obsNoiseVariance(det.NoiseFloor())
-	for _, sr := range results {
-		emissions := make([]viterbi.Emission, len(sr.Slots))
-		for k, slot := range sr.Slots {
-			s2 := sigma2
-			if slot.Kind == streams.MatchForeign {
-				// Residual interference after cancellation (or none at
-				// all if the collision was unresolvable): down-weight.
-				s2 *= 4
-			}
-			emissions[k] = viterbi.Emission{Obs: slot.Obs, E: sr.Stream.E, Sigma2: s2}
-		}
-		switch {
-		case !cfg.Stages.IQSeparation:
-			// Edge-only ablation: bit 1 wherever an edge matched.
-			sr.States = edgeOnlyStates(sr.Slots)
-		case cfg.Stages.ErrorCorrection:
-			// Slot 0 is (near) the anchor; the antenna is detuned
-			// before the frame, so the implicit previous edge is a
-			// falling one.
-			sr.States = viterbi.NewDecoder(0.5, viterbi.Down).Decode(emissions)
-		default:
-			sr.States = viterbi.HardDecode(emissions)
-		}
-		frameBits := viterbi.Bits(sr.States)
-		sr.PayloadStart = alignPayload(frameBits, cfg.Streams.PreambleLen)
-		sr.Bits = clampSlice(frameBits, sr.PayloadStart, cfg.PayloadBits(sr.Stream.Rate))
-	}
+	work.Do(workers, len(results), func(i int) {
+		decodeStates(results[i], cfg, sigma2)
+	})
 
 	minRecoverE := 3 * det.NoiseFloor()
 	for round := 0; round < cfg.CancellationRounds; round++ {
-		fresh := cancelAndRetry(capture, results, cfg, minRecoverE)
+		fresh := cancelAndRetry(capture, results, cfg, minRecoverE, workers)
 		if len(fresh) == 0 {
 			break
 		}
@@ -212,6 +229,38 @@ func Decode(capture *iq.Capture, cfg Config) (*Result, error) {
 	}
 	res.Streams = results
 	return res, nil
+}
+
+// decodeStates runs the sequence-decoding stage for one stream:
+// Viterbi (or the ablation fallbacks) over the slot observations, then
+// payload alignment. It touches only sr, so calls for distinct streams
+// are safe to run concurrently.
+func decodeStates(sr *StreamResult, cfg Config, sigma2 float64) {
+	emissions := make([]viterbi.Emission, len(sr.Slots))
+	for k, slot := range sr.Slots {
+		s2 := sigma2
+		if slot.Kind == streams.MatchForeign {
+			// Residual interference after cancellation (or none at
+			// all if the collision was unresolvable): down-weight.
+			s2 *= 4
+		}
+		emissions[k] = viterbi.Emission{Obs: slot.Obs, E: sr.Stream.E, Sigma2: s2}
+	}
+	switch {
+	case !cfg.Stages.IQSeparation:
+		// Edge-only ablation: bit 1 wherever an edge matched.
+		sr.States = edgeOnlyStates(sr.Slots)
+	case cfg.Stages.ErrorCorrection:
+		// Slot 0 is (near) the anchor; the antenna is detuned
+		// before the frame, so the implicit previous edge is a
+		// falling one.
+		sr.States = viterbi.NewDecoder(0.5, viterbi.Down).Decode(emissions)
+	default:
+		sr.States = viterbi.HardDecode(emissions)
+	}
+	frameBits := viterbi.Bits(sr.States)
+	sr.PayloadStart = alignPayload(frameBits, cfg.Streams.PreambleLen)
+	sr.Bits = clampSlice(frameBits, sr.PayloadStart, cfg.PayloadBits(sr.Stream.Rate))
 }
 
 // alignSlack is the number of extra slots walked past the nominal
@@ -420,13 +469,13 @@ func separatePair(results []*StreamResult, sa, sb int, cls []claim, cfg Config, 
 					s.States[i][0], s.States[i][1] = s.States[i][1], s.States[i][0]
 				}
 			}
-			if real(e1*complexConj(eA)) < 0 {
+			if real(e1*cmplx.Conj(eA)) < 0 {
 				e1 = -e1
 				for i := range s.States {
 					s.States[i][0] = -s.States[i][0]
 				}
 			}
-			if real(e2*complexConj(eB)) < 0 {
+			if real(e2*cmplx.Conj(eB)) < 0 {
 				e2 = -e2
 				for i := range s.States {
 					s.States[i][1] = -s.States[i][1]
@@ -491,8 +540,6 @@ func separateJoint(results []*StreamResult, cls []claim) {
 		}
 	}
 }
-
-func complexConj(x complex128) complex128 { return complex(real(x), -imag(x)) }
 
 // BitErrors compares decoded bits to the ground truth and returns the
 // Hamming distance over the common prefix plus one error per length

@@ -5,8 +5,10 @@ import (
 
 	"lf/internal/dsp"
 	"lf/internal/iq"
+	"lf/internal/pool"
 	"lf/internal/streams"
 	"lf/internal/viterbi"
+	"lf/internal/work"
 )
 
 // Successive interference cancellation (SIC). A tag that failed to
@@ -48,9 +50,12 @@ func refineE(sr *StreamResult) complex128 {
 }
 
 // reconstruct renders one decoded stream's baseband contribution: a
-// ±E step at every decoded edge slot, ramped over rampSamples.
+// ±E step at every decoded edge slot, ramped over rampSamples. The
+// returned buffer comes from the scratch pool; the caller owns it and
+// should recycle it with pool.PutComplex once consumed.
 func reconstruct(sr *StreamResult, n int, rampSamples int) []complex128 {
-	diff := make([]complex128, n+rampSamples+1)
+	diff := pool.Complex(n + rampSamples + 1)
+	defer pool.PutComplex(diff)
 	e := refineE(sr)
 	for k, st := range sr.States {
 		if k >= len(sr.Slots) {
@@ -79,7 +84,7 @@ func reconstruct(sr *StreamResult, n int, rampSamples int) []complex128 {
 			diff[idx+int64(r)] += step
 		}
 	}
-	out := make([]complex128, n)
+	out := pool.Complex(n)
 	var acc complex128
 	for i := 0; i < n; i++ {
 		acc += diff[i]
@@ -95,29 +100,49 @@ func reconstruct(sr *StreamResult, n int, rampSamples int) []complex128 {
 // residue of an imperfectly cancelled stream otherwise re-registers
 // as a phantom). minE is derived from the original capture's noise
 // floor.
-func cancelAndRetry(capture *iq.Capture, results []*StreamResult, cfg Config, minE float64) []*StreamResult {
+func cancelAndRetry(capture *iq.Capture, results []*StreamResult, cfg Config, minE float64, workers int) []*StreamResult {
 	n := len(capture.Samples)
-	residual := make([]complex128, n)
-	copy(residual, capture.Samples)
 	ramp := int(cfg.Edge.Gap)
 	if ramp < 1 {
 		ramp = 3
 	}
+	// Only subtract trustworthy decodes: a mixture or mistracked
+	// stream would inject its errors into the residual.
+	var trusted []*StreamResult
 	for _, sr := range results {
-		// Only subtract trustworthy decodes: a mixture or mistracked
-		// stream would inject its errors into the residual.
-		if quality(sr) < 0.45 {
-			continue
+		if quality(sr) >= 0.45 {
+			trusted = append(trusted, sr)
 		}
-		contrib := reconstruct(sr, n, ramp)
-		for i := range residual {
-			residual[i] -= contrib[i]
+	}
+	// Reconstruct every trusted stream's waveform in parallel (each
+	// writes only its own buffer), then subtract over sample chunks
+	// with a fixed stream order: each sample sees the exact same
+	// subtraction sequence as the serial stream-major loop, so the
+	// residual is bit-identical at any worker count.
+	contribs := make([][]complex128, len(trusted))
+	work.Do(workers, len(trusted), func(i int) {
+		contribs[i] = reconstruct(trusted[i], n, ramp)
+	})
+	residual := pool.Complex(n)
+	copy(residual, capture.Samples)
+	work.DoRanges(workers, n, func(lo, hi int) {
+		for _, contrib := range contribs {
+			for i := lo; i < hi; i++ {
+				residual[i] -= contrib[i]
+			}
 		}
+	})
+	for _, contrib := range contribs {
+		pool.PutComplex(contrib)
 	}
 	resCap := &iq.Capture{SampleRate: capture.SampleRate, Samples: residual}
 	sub := cfg
 	sub.CancellationRounds = 0
 	res2, err := Decode(resCap, sub)
+	// The residual pass copies everything it keeps (slot observations,
+	// edge differentials, stream vectors), so the buffer can go back to
+	// the pool as soon as the decode returns.
+	pool.PutComplex(residual)
 	if err != nil {
 		return nil
 	}

@@ -8,6 +8,9 @@ package dsp
 import (
 	"math"
 	"sort"
+
+	"lf/internal/pool"
+	"lf/internal/work"
 )
 
 // Prefix holds cumulative sums of a complex series so that the mean of
@@ -18,15 +21,26 @@ type Prefix struct {
 	n    int64
 }
 
-// NewPrefix builds prefix sums over samples.
+// NewPrefix builds prefix sums over samples. The internal buffer comes
+// from the shared scratch pool; callers that are done with a Prefix
+// may call Release to recycle it (and must not use the Prefix after).
 func NewPrefix(samples []complex128) *Prefix {
-	p := &Prefix{sums: make([]complex128, len(samples)+1), n: int64(len(samples))}
+	p := &Prefix{sums: pool.Complex(len(samples) + 1), n: int64(len(samples))}
 	var acc complex128
 	for i, v := range samples {
 		acc += v
 		p.sums[i+1] = acc
 	}
 	return p
+}
+
+// Release returns the prefix's buffer to the scratch pool. The Prefix
+// must not be used afterwards. Calling Release is optional — an
+// unreleased buffer is simply garbage-collected.
+func (p *Prefix) Release() {
+	pool.PutComplex(p.sums)
+	p.sums = nil
+	p.n = 0
 }
 
 // Len returns the number of underlying samples.
@@ -75,27 +89,44 @@ func (p *Prefix) Differential(pos, gap, win int64) complex128 {
 // too close to the ends use clamped (shorter) windows.
 func (p *Prefix) DifferentialSeries(gap, win int64) []float64 {
 	out := make([]float64, p.n)
-	for i := int64(0); i < p.n; i++ {
-		d := p.Differential(i, gap, win)
-		out[i] = math.Hypot(real(d), imag(d))
-	}
+	p.DifferentialSeriesInto(out, gap, win, 1)
 	return out
 }
 
-// MedianFloat returns the median of xs. It copies and sorts; xs is not
-// modified. Returns 0 for an empty slice.
+// DifferentialSeriesInto fills dst (which must have length p.Len())
+// with |Differential| at every sample position, fanning the work out
+// over at most `workers` goroutines (see work.Resolve for the knob
+// semantics). Each position is a pure O(1) function of the prefix
+// sums, so the chunked result is bit-identical to the serial one at
+// any worker count.
+func (p *Prefix) DifferentialSeriesInto(dst []float64, gap, win int64, workers int) {
+	if int64(len(dst)) != p.n {
+		panic("dsp: DifferentialSeriesInto length mismatch")
+	}
+	work.DoRanges(workers, int(p.n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d := p.Differential(int64(i), gap, win)
+			dst[i] = math.Hypot(real(d), imag(d))
+		}
+	})
+}
+
+// MedianFloat returns the median of xs. It copies into pooled scratch
+// and sorts; xs is not modified. Returns 0 for an empty slice.
 func MedianFloat(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	cp := make([]float64, len(xs))
+	cp := pool.Float(len(xs))
 	copy(cp, xs)
 	sort.Float64s(cp)
 	m := len(cp) / 2
-	if len(cp)%2 == 1 {
-		return cp[m]
+	med := cp[m]
+	if len(cp)%2 == 0 {
+		med = (cp[m-1] + cp[m]) / 2
 	}
-	return (cp[m-1] + cp[m]) / 2
+	pool.PutFloat(cp)
+	return med
 }
 
 // NoiseFloor estimates the background level of a differential-magnitude
@@ -116,12 +147,43 @@ type Peak struct {
 // non-maximum suppression: within any window of minSpacing samples only
 // the largest peak survives. Peaks are returned in increasing position.
 func FindPeaks(mag []float64, threshold float64, minSpacing int64) []Peak {
+	return FindPeaksParallel(mag, threshold, minSpacing, 1)
+}
+
+// FindPeaksParallel is FindPeaks with the local-maximum scan chunked
+// across at most `workers` goroutines. Each chunk reads its boundary
+// neighbours from the shared series, so a peak sitting exactly on a
+// chunk seam is classified exactly as in the serial scan — detected
+// once, by the chunk that owns its index. The final non-maximum
+// suppression runs globally over the (position-ordered) concatenation,
+// making the result bit-identical at any worker count.
+func FindPeaksParallel(mag []float64, threshold float64, minSpacing int64, workers int) []Peak {
 	if minSpacing < 1 {
 		minSpacing = 1
 	}
+	n := len(mag)
+	bounds := work.Bounds(workers, n)
+	if len(bounds) < 2 {
+		return nil
+	}
+	chunked := make([][]Peak, len(bounds)-1)
+	work.Do(work.Resolve(workers), len(bounds)-1, func(c int) {
+		chunked[c] = scanPeaks(mag, bounds[c], bounds[c+1], threshold)
+	})
 	var peaks []Peak
-	n := int64(len(mag))
-	for i := int64(0); i < n; i++ {
+	for _, ps := range chunked {
+		peaks = append(peaks, ps...)
+	}
+	return suppress(peaks, minSpacing)
+}
+
+// scanPeaks finds the raw local maxima of mag with index in [lo, hi).
+// Neighbour comparisons read across the chunk boundary, so ownership
+// of a boundary peak is unambiguous: the chunk containing its index.
+func scanPeaks(mag []float64, lo, hi int, threshold float64) []Peak {
+	var peaks []Peak
+	n := len(mag)
+	for i := lo; i < hi; i++ {
 		v := mag[i]
 		if v < threshold {
 			continue
@@ -138,9 +200,9 @@ func FindPeaks(mag []float64, threshold float64, minSpacing int64) []Peak {
 		if i > 0 && mag[i-1] == v {
 			continue // plateau continuation
 		}
-		peaks = append(peaks, Peak{Pos: i, Value: v})
+		peaks = append(peaks, Peak{Pos: int64(i), Value: v})
 	}
-	return suppress(peaks, minSpacing)
+	return peaks
 }
 
 // suppress applies greedy non-maximum suppression: peaks are visited in

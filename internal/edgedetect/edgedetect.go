@@ -11,6 +11,8 @@ import (
 
 	"lf/internal/dsp"
 	"lf/internal/iq"
+	"lf/internal/pool"
+	"lf/internal/work"
 )
 
 // Config tunes the detector.
@@ -43,6 +45,11 @@ type Config struct {
 	// the IQ lattice machinery separate the contributions) is both
 	// cleaner and faithful to the paper's collision model.
 	CoalesceDist int64
+	// Parallelism bounds the worker pool for the differential sweep and
+	// the peak scan (0 = all cores, 1 = serial). The capture is split
+	// into chunks whose seams read across chunk boundaries, so the
+	// detected edge set is bit-identical at any setting.
+	Parallelism int
 }
 
 // DefaultConfig returns detector settings matched to the default reader
@@ -109,8 +116,10 @@ func New(capture *iq.Capture, cfg Config) (*Detector, error) {
 	if err := capture.Validate(); err != nil {
 		return nil, err
 	}
+	workers := work.Resolve(cfg.Parallelism)
 	d := &Detector{cfg: cfg, prefix: dsp.NewPrefix(capture.Samples)}
-	mag := d.prefix.DifferentialSeries(cfg.Gap, cfg.Win)
+	mag := pool.Float(len(capture.Samples))
+	d.prefix.DifferentialSeriesInto(mag, cfg.Gap, cfg.Win, workers)
 	// Positions whose averaging windows fall off the capture compare a
 	// clamped (empty) window against signal and read as huge phantom
 	// edges; blank the margins.
@@ -135,8 +144,9 @@ func New(capture *iq.Capture, cfg Config) (*Detector, error) {
 	if min := 0.05 * maxMag; threshold < min {
 		threshold = min
 	}
-	peaks := dsp.FindPeaks(mag, threshold, cfg.MinSpacing)
+	peaks := dsp.FindPeaksParallel(mag, threshold, cfg.MinSpacing, workers)
 	centroidPeaks(mag, peaks, cfg.Gap, d.floor)
+	pool.PutFloat(mag)
 	d.edges = d.refine(coalesce(peaks, cfg.CoalesceDist))
 	return d, nil
 }
@@ -245,6 +255,17 @@ func (d *Detector) refine(groups []group) []Edge {
 
 // Edges returns the detected edges in increasing position.
 func (d *Detector) Edges() []Edge { return d.edges }
+
+// Release recycles the detector's prefix-sum buffer into the shared
+// scratch pool. The detector must not be used for measurement
+// (MeasureAt, MeasureAtClean, refinement) afterwards; Edges and
+// NoiseFloor stay valid. Calling Release is optional.
+func (d *Detector) Release() {
+	if d.prefix != nil {
+		d.prefix.Release()
+		d.prefix = nil
+	}
+}
 
 // NoiseFloor returns the estimated background differential magnitude.
 func (d *Detector) NoiseFloor() float64 { return d.floor }

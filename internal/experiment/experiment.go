@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"lf/internal/stats"
+	"lf/internal/work"
 )
 
 // Config controls experiment scale and reproducibility.
@@ -21,10 +22,31 @@ type Config struct {
 	// Quick trims sweeps for use under `go test -bench` where each
 	// iteration must stay cheap.
 	Quick bool
+	// Workers bounds epoch-level parallelism: independent seeded
+	// epochs (Fig8/9/10 throughput averaging, the ablations, Fig12's
+	// per-population runs) fan out across this many goroutines
+	// (0 = all cores, 1 = serial). Every epoch is seeded independently
+	// and aggregation preserves epoch order, so results are identical
+	// at any setting.
+	Workers int
 }
 
 // Default returns the configuration used by cmd/lfbench.
 func Default() Config { return Config{Seed: 1, Epochs: 3} }
+
+// workers resolves the epoch-level worker count.
+func (c Config) workers() int { return work.Resolve(c.Workers) }
+
+// firstErr returns the first error (lowest epoch index) from a
+// fanned-out epoch loop, mirroring the serial loop's error semantics.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // kbps formats a bits/s value in kbps.
 func kbps(bps float64) string { return fmt.Sprintf("%.1f", bps/1e3) }

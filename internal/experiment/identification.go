@@ -9,6 +9,7 @@ import (
 	"lf/internal/epc"
 	"lf/internal/rng"
 	"lf/internal/stats"
+	"lf/internal/work"
 )
 
 // lfIdentify runs the LF-Backscatter identification protocol of §5.2:
@@ -16,7 +17,9 @@ import (
 // with a fresh random offset; tags whose frame decodes with a valid
 // CRC are identified; the reader keeps issuing epochs until all tags
 // are identified (or maxEpochs pass). Returns the total time.
-func lfIdentify(n int, seed int64, maxEpochs int) (seconds float64, epochs int, err error) {
+// decodeParallelism is forwarded to the decoder (1 when the caller is
+// already fanning populations out, so cores aren't oversubscribed).
+func lfIdentify(n int, seed int64, maxEpochs, decodeParallelism int) (seconds float64, epochs int, err error) {
 	src := rng.New(seed)
 	ids := make([]epc.ID, n)
 	idSet := make(map[epc.ID]bool)
@@ -44,7 +47,9 @@ func lfIdentify(n int, seed int64, maxEpochs int) (seconds float64, epochs int, 
 			return 0, 0, err
 		}
 		seconds += ep.Capture.Duration()
-		dec, err := lf.NewDecoder(net.DecoderConfig())
+		dcfg := net.DecoderConfig()
+		dcfg.Parallelism = decodeParallelism
+		dec, err := lf.NewDecoder(dcfg)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -114,26 +119,55 @@ func Fig12(cfg Config) (*Result, error) {
 	}
 	series := []stats.Series{{Label: "TDMA"}, {Label: "Buzz"}, {Label: "LF-Backscatter"}}
 	src := rng.New(cfg.Seed)
-	for _, n := range ns {
+	// The TDMA baseline draws from the shared source, so its per-n
+	// splits are created serially in sweep order before the populations
+	// fan out; everything else inside a point is seeded from (Seed, n).
+	tdmaSrcs := make([]*rng.Source, len(ns))
+	for i, n := range ns {
+		tdmaSrcs[i] = src.Split(fmt.Sprint("tdma", n))
+	}
+	type point struct {
+		tSec, bSec, lSec float64
+		epochs           int
+		err              error
+	}
+	points := make([]point, len(ns))
+	workers := cfg.workers()
+	decPar := 0
+	if workers > 1 {
+		decPar = 1
+	}
+	work.Do(workers, len(ns), func(i int) {
+		n := ns[i]
 		// TDMA: Q-algorithm slotted ALOHA, averaged.
 		tc := tdma.DefaultConfig()
 		tc.SlotBits = epc.FrameBits
-		tSec, err := tc.MeanInventorySeconds(n, 8, src.Split(fmt.Sprint("tdma", n)))
+		tSec, err := tc.MeanInventorySeconds(n, 8, tdmaSrcs[i])
 		if err != nil {
-			return nil, err
+			points[i].err = err
+			return
 		}
 		bSec, err := buzzIdentify(n, cfg.Seed+int64(n), 8)
 		if err != nil {
-			return nil, err
+			points[i].err = err
+			return
 		}
-		lSec, epochs, err := lfIdentify(n, cfg.Seed+int64(n)*17, 12)
+		lSec, epochs, err := lfIdentify(n, cfg.Seed+int64(n)*17, 12, decPar)
 		if err != nil {
-			return nil, err
+			points[i].err = err
+			return
 		}
-		table.AddRow(fmt.Sprint(n), ms(tSec), ms(bSec), ms(lSec), fmt.Sprint(epochs), ratio(tSec, lSec), ratio(bSec, lSec))
-		series[0].Add(float64(n), tSec*1e3)
-		series[1].Add(float64(n), bSec*1e3)
-		series[2].Add(float64(n), lSec*1e3)
+		points[i] = point{tSec: tSec, bSec: bSec, lSec: lSec, epochs: epochs}
+	})
+	for i, n := range ns {
+		p := points[i]
+		if p.err != nil {
+			return nil, p.err
+		}
+		table.AddRow(fmt.Sprint(n), ms(p.tSec), ms(p.bSec), ms(p.lSec), fmt.Sprint(p.epochs), ratio(p.tSec, p.lSec), ratio(p.bSec, p.lSec))
+		series[0].Add(float64(n), p.tSec*1e3)
+		series[1].Add(float64(n), p.bSec*1e3)
+		series[2].Add(float64(n), p.lSec*1e3)
 	}
 	return &Result{Table: table, Series: series}, nil
 }

@@ -9,17 +9,29 @@ import (
 	"lf/internal/decoder"
 	"lf/internal/rng"
 	"lf/internal/stats"
+	"lf/internal/work"
 )
 
 // lfThroughput measures LF-Backscatter aggregate goodput for n tags at
 // the given per-tag rate, averaged over cfg.Epochs epochs, using the
 // given pipeline stages. It returns mean aggregate and offered bps.
+//
+// Epochs are independently seeded, so they fan out across cfg.Workers
+// goroutines; per-epoch results land in an indexed slice and are
+// summed in epoch order, keeping the mean bit-identical to the serial
+// loop at any worker count.
 func lfThroughput(cfg Config, n int, rate float64, stages lf.Stages, seed int64) (agg, offered float64, err error) {
 	payloadSeconds := 2e-3
 	if cfg.Quick {
 		payloadSeconds = 1e-3
 	}
-	for e := 0; e < cfg.Epochs; e++ {
+	workers := cfg.workers()
+	type epochOut struct {
+		agg, offered float64
+		err          error
+	}
+	outs := make([]epochOut, cfg.Epochs)
+	work.Do(workers, cfg.Epochs, func(e int) {
 		net, err := lf.NewNetwork(lf.NetworkConfig{
 			NumTags:        n,
 			BitRates:       []float64{rate},
@@ -27,25 +39,41 @@ func lfThroughput(cfg Config, n int, rate float64, stages lf.Stages, seed int64)
 			Seed:           seed + int64(e)*7919,
 		})
 		if err != nil {
-			return 0, 0, err
+			outs[e].err = err
+			return
 		}
 		ep, err := net.RunEpoch()
 		if err != nil {
-			return 0, 0, err
+			outs[e].err = err
+			return
 		}
 		dcfg := net.DecoderConfig()
 		dcfg.Stages = stages
+		if workers > 1 {
+			// Epoch-level fan-out already saturates the cores; nested
+			// decoder parallelism would only oversubscribe. Decode
+			// output is bit-identical either way.
+			dcfg.Parallelism = 1
+		}
 		dec, err := lf.NewDecoder(dcfg)
 		if err != nil {
-			return 0, 0, err
+			outs[e].err = err
+			return
 		}
 		res, err := dec.Decode(ep)
 		if err != nil {
-			return 0, 0, err
+			outs[e].err = err
+			return
 		}
 		score := lf.ScoreEpoch(ep, res)
-		agg += score.AggregateBps
-		offered += lf.OfferedBps(ep)
+		outs[e] = epochOut{agg: score.AggregateBps, offered: lf.OfferedBps(ep)}
+	})
+	for _, out := range outs {
+		if out.err != nil {
+			return 0, 0, out.err
+		}
+		agg += out.agg
+		offered += out.offered
 	}
 	return agg / float64(cfg.Epochs), offered / float64(cfg.Epochs), nil
 }
@@ -268,32 +296,48 @@ func AblationSeparation(cfg Config) (*Result, error) {
 		Title:  "Ablation — collision separation strategy (8 nodes @100 kbps)",
 		Header: []string{"mode", "throughput(kbps)"},
 	}
+	workers := cfg.workers()
 	for _, m := range modes {
-		var agg float64
-		for e := 0; e < cfg.Epochs; e++ {
+		aggs := make([]float64, cfg.Epochs)
+		errs := make([]error, cfg.Epochs)
+		work.Do(workers, cfg.Epochs, func(e int) {
 			net, err := lf.NewNetwork(lf.NetworkConfig{
 				NumTags:        n,
 				PayloadSeconds: 2e-3,
 				Seed:           cfg.Seed + int64(e)*13,
 			})
 			if err != nil {
-				return nil, err
+				errs[e] = err
+				return
 			}
 			ep, err := net.RunEpoch()
 			if err != nil {
-				return nil, err
+				errs[e] = err
+				return
 			}
 			dcfg := net.DecoderConfig()
 			dcfg.Separation = m.mode
+			if workers > 1 {
+				dcfg.Parallelism = 1
+			}
 			dec, err := lf.NewDecoder(dcfg)
 			if err != nil {
-				return nil, err
+				errs[e] = err
+				return
 			}
 			res, err := dec.Decode(ep)
 			if err != nil {
-				return nil, err
+				errs[e] = err
+				return
 			}
-			agg += lf.ScoreEpoch(ep, res).AggregateBps
+			aggs[e] = lf.ScoreEpoch(ep, res).AggregateBps
+		})
+		if err := firstErr(errs); err != nil {
+			return nil, err
+		}
+		var agg float64
+		for _, a := range aggs {
+			agg += a
 		}
 		table.AddRow(m.label, kbps(agg/float64(cfg.Epochs)))
 	}
@@ -316,35 +360,55 @@ func AblationRegistration(cfg Config) (*Result, error) {
 		Title:  "Ablation — stream registration strategy (12 nodes @100 kbps)",
 		Header: []string{"mode", "registered", "throughput(kbps)"},
 	}
+	workers := cfg.workers()
 	for _, m := range modes {
-		var agg float64
-		reg, total := 0, 0
-		for e := 0; e < cfg.Epochs; e++ {
+		type epochOut struct {
+			agg float64
+			reg int
+		}
+		outs := make([]epochOut, cfg.Epochs)
+		errs := make([]error, cfg.Epochs)
+		work.Do(workers, cfg.Epochs, func(e int) {
 			net, err := lf.NewNetwork(lf.NetworkConfig{
 				NumTags:        n,
 				PayloadSeconds: 2e-3,
 				Seed:           cfg.Seed + int64(e)*13,
 			})
 			if err != nil {
-				return nil, err
+				errs[e] = err
+				return
 			}
 			ep, err := net.RunEpoch()
 			if err != nil {
-				return nil, err
+				errs[e] = err
+				return
 			}
 			dcfg := net.DecoderConfig()
 			dcfg.Registration = m.mode
+			if workers > 1 {
+				dcfg.Parallelism = 1
+			}
 			dec, err := lf.NewDecoder(dcfg)
 			if err != nil {
-				return nil, err
+				errs[e] = err
+				return
 			}
 			res, err := dec.Decode(ep)
 			if err != nil {
-				return nil, err
+				errs[e] = err
+				return
 			}
 			score := lf.ScoreEpoch(ep, res)
-			agg += score.AggregateBps
-			reg += score.Registered
+			outs[e] = epochOut{agg: score.AggregateBps, reg: score.Registered}
+		})
+		if err := firstErr(errs); err != nil {
+			return nil, err
+		}
+		var agg float64
+		reg, total := 0, 0
+		for _, out := range outs {
+			agg += out.agg
+			reg += out.reg
 			total += n
 		}
 		table.AddRow(m.label, fmt.Sprintf("%d/%d", reg, total), kbps(agg/float64(cfg.Epochs)))

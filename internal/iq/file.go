@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"lf/internal/pool"
 )
 
 // fileMagic identifies a capture container.
@@ -32,6 +34,11 @@ const fileVersion = 1
 // maxReasonableSamples guards against corrupt headers allocating
 // absurd buffers (16 GiB of samples ≈ 11 minutes at 25 Msps).
 const maxReasonableSamples = 1 << 30
+
+// ioChunkSamples is the number of samples marshalled per pooled IO
+// block (64 KiB of wire bytes). Batching keeps the per-sample cost at
+// a couple of stores instead of a reflective binary.Write round-trip.
+const ioChunkSamples = 4096
 
 // WriteTo serializes the capture. It returns the number of bytes
 // written.
@@ -63,11 +70,23 @@ func (c *Capture) WriteTo(w io.Writer) (int64, error) {
 	if err := write(uint64(len(c.Samples))); err != nil {
 		return n, err
 	}
-	for _, s := range c.Samples {
-		if err := write(real(s)); err != nil {
-			return n, err
+	// Samples stream out in pooled fixed-size blocks: marshal a chunk
+	// with direct little-endian stores, write it, recycle the buffer.
+	buf := pool.Bytes(16 * ioChunkSamples)
+	defer pool.PutBytes(buf)
+	for lo := 0; lo < len(c.Samples); lo += ioChunkSamples {
+		hi := lo + ioChunkSamples
+		if hi > len(c.Samples) {
+			hi = len(c.Samples)
 		}
-		if err := write(imag(s)); err != nil {
+		b := buf[:16*(hi-lo)]
+		for i, s := range c.Samples[lo:hi] {
+			binary.LittleEndian.PutUint64(b[16*i:], math.Float64bits(real(s)))
+			binary.LittleEndian.PutUint64(b[16*i+8:], math.Float64bits(imag(s)))
+		}
+		wrote, err := bw.Write(b)
+		n += int64(wrote)
+		if err != nil {
 			return n, err
 		}
 	}
@@ -106,14 +125,22 @@ func ReadCapture(r io.Reader) (*Capture, error) {
 		return nil, fmt.Errorf("iq: implausible sample count %d", count)
 	}
 	c.Samples = make([]complex128, count)
-	buf := make([]byte, 16)
-	for i := range c.Samples {
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("iq: reading sample %d: %w", i, err)
+	buf := pool.Bytes(16 * ioChunkSamples)
+	defer pool.PutBytes(buf)
+	for lo := 0; lo < len(c.Samples); lo += ioChunkSamples {
+		hi := lo + ioChunkSamples
+		if hi > len(c.Samples) {
+			hi = len(c.Samples)
 		}
-		re := math.Float64frombits(binary.LittleEndian.Uint64(buf[:8]))
-		im := math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))
-		c.Samples[i] = complex(re, im)
+		b := buf[:16*(hi-lo)]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, fmt.Errorf("iq: reading samples %d..%d: %w", lo, hi, err)
+		}
+		for i := range c.Samples[lo:hi] {
+			re := math.Float64frombits(binary.LittleEndian.Uint64(b[16*i:]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(b[16*i+8:]))
+			c.Samples[lo+i] = complex(re, im)
+		}
 	}
 	if err := c.Validate(); err != nil {
 		return nil, err

@@ -12,6 +12,7 @@ import (
 
 	"lf/internal/channel"
 	"lf/internal/iq"
+	"lf/internal/pool"
 	"lf/internal/tag"
 )
 
@@ -72,8 +73,11 @@ func Synthesize(ch *channel.Model, emissions []*tag.Emission, cfg EpochConfig) (
 	}
 	n := cfg.NumSamples()
 	// diff[i] accumulates the per-sample increments of the noiseless
-	// signal; the signal is its running sum plus the environment.
-	diff := make([]complex128, n+cfg.EdgeSamples+1)
+	// signal; the signal is its running sum plus the environment. It is
+	// pure scratch, recycled through the shared pool (the samples array
+	// escapes into the returned capture and cannot be).
+	diff := pool.Complex(n + cfg.EdgeSamples + 1)
+	defer pool.PutComplex(diff)
 	for _, em := range emissions {
 		if em.TagID < 0 || em.TagID >= len(ch.Coeffs) {
 			return nil, fmt.Errorf("reader: emission for tag %d but channel has %d coefficients", em.TagID, len(ch.Coeffs))

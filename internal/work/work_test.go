@@ -1,0 +1,103 @@
+package work
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 7, 1000} {
+			hits := make([]int32, n)
+			Do(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestDoSerialPreservesOrder(t *testing.T) {
+	var order []int
+	Do(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestDoPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	Do(4, 16, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d", got)
+	}
+	if got := Resolve(1); got != 1 {
+		t.Fatalf("Resolve(1) = %d", got)
+	}
+	if got := Resolve(6); got != 6 {
+		t.Fatalf("Resolve(6) = %d", got)
+	}
+	if got := Resolve(-3); got != 1 {
+		t.Fatalf("Resolve(-3) = %d", got)
+	}
+}
+
+func TestBoundsPartition(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		for _, n := range []int{0, 1, MinChunk - 1, MinChunk, 4*MinChunk + 17, 100000} {
+			b := Bounds(workers, n)
+			if n == 0 {
+				if b != nil {
+					t.Fatalf("Bounds(%d, 0) = %v", workers, b)
+				}
+				continue
+			}
+			if b[0] != 0 || b[len(b)-1] != n {
+				t.Fatalf("Bounds(%d, %d) = %v: does not span [0,n)", workers, n, b)
+			}
+			for i := 1; i < len(b); i++ {
+				if b[i] <= b[i-1] {
+					t.Fatalf("Bounds(%d, %d) = %v: not strictly increasing", workers, n, b)
+				}
+			}
+			// Every chunk but the last must be at least MinChunk when the
+			// series is splittable at all.
+			for i := 0; i+2 < len(b); i++ {
+				if b[i+1]-b[i] < MinChunk {
+					t.Fatalf("Bounds(%d, %d) = %v: chunk %d under MinChunk", workers, n, b, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDoRangesCoversSeries(t *testing.T) {
+	n := 3*MinChunk + 123
+	hits := make([]int32, n)
+	DoRanges(4, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d covered %d times", i, h)
+		}
+	}
+}

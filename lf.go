@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"lf/internal/channel"
 	"lf/internal/decoder"
@@ -274,11 +275,7 @@ func (n *Network) Rates() []float64 {
 			rates = append(rates, tc.BitRate)
 		}
 	}
-	for i := 1; i < len(rates); i++ {
-		for j := i; j > 0 && rates[j] < rates[j-1]; j-- {
-			rates[j], rates[j-1] = rates[j-1], rates[j]
-		}
-	}
+	sort.Float64s(rates)
 	return rates
 }
 
@@ -323,6 +320,10 @@ type DecoderConfig struct {
 	Registration RegistrationMode
 	// Seed drives decoder-internal randomness (k-means restarts).
 	Seed int64
+	// Parallelism bounds the decoder's worker pool (0 = all cores,
+	// 1 = serial). Decodes are bit-identical at any setting; the knob
+	// only trades wall-clock for cores.
+	Parallelism int
 }
 
 // Stage toggles and separation modes re-exported for callers.
@@ -372,6 +373,7 @@ func NewDecoder(cfg DecoderConfig) (*Decoder, error) {
 	dc.Stages = cfg.Stages
 	dc.Separation = cfg.Separation
 	dc.Streams.Registration = cfg.Registration
+	dc.Parallelism = cfg.Parallelism
 	if cfg.Seed != 0 {
 		dc.Seed = cfg.Seed
 	}
