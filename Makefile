@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench benchjson ci clean
+.PHONY: all build vet test race race-stream bench benchjson benchguard ci clean
 
 all: build
 
@@ -20,14 +20,28 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the streaming-vs-batch equivalence suite: the
+# streaming decoder shares worker pools with the batch path, so the
+# bit-identity tests double as a race probe of every incremental stage.
+race-stream:
+	$(GO) test -race -run 'TestStreaming' .
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-# Machine-readable micro-benchmarks (ns/op, allocs/op, goodput).
+# Machine-readable micro-benchmarks (ns/op, allocs/op, goodput,
+# streaming throughput/latency/window). Regenerates the committed
+# baseline; commit the result when a perf change is intentional.
 benchjson:
-	$(GO) run ./cmd/lfbench -benchjson BENCH_parallel_pipeline.json
+	$(GO) run ./cmd/lfbench -benchjson BENCH_streaming_decode.json
 
-ci: vet build test race bench
+# Re-run the suite and fail on >15% ns/op or allocs/op regressions in
+# the gated hot-path stages (decode sweep, edgedetect sweep, streaming
+# decode) against the committed baseline.
+benchguard:
+	$(GO) run ./cmd/lfbench -benchguard BENCH_streaming_decode.json
+
+ci: vet build test race race-stream benchguard
 
 clean:
 	$(GO) clean ./...

@@ -139,6 +139,42 @@ func BenchmarkEndToEndDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamingDecode measures the streaming pipeline's steady
+// state: the same 8-tag epoch decoded once per op, pushed in
+// 8192-sample blocks with mid-capture calibration so every stage runs
+// incrementally. Pooled buffers make repeated decodes approach
+// zero-alloc in the sample-proportional hot path.
+func BenchmarkStreamingDecode(b *testing.B) {
+	net, err := lf.NewNetwork(lf.NetworkConfig{NumTags: 8, PayloadSeconds: 2e-3, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ep, err := net.RunEpoch()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := net.DecoderConfig()
+	cfg.CalibSamples = 32768
+	dec, err := lf.NewDecoder(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(16 * ep.Capture.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sd, err := dec.NewStream()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ep.Blocks(8192, sd.Push); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sd.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSynthesize measures capture synthesis throughput.
 func BenchmarkSynthesize(b *testing.B) {
 	net, err := lf.NewNetwork(lf.NetworkConfig{NumTags: 16, PayloadSeconds: 1e-3, Seed: 3})

@@ -1,0 +1,83 @@
+package main
+
+// Bench-regression guard (-benchguard BASELINE). Re-runs the
+// micro-benchmark suite and compares the hot-path stages against the
+// committed baseline document, failing on a >15% ns/op or allocs/op
+// regression. Only the pipeline stages whose performance this repo
+// actively defends are gated (decode, edgedetect, decode/streaming);
+// synthesize and serialization are informational.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// guardThreshold is the fractional regression the guard tolerates
+// before failing, covering run-to-run scheduler and allocator noise.
+const guardThreshold = 0.15
+
+// guardedBenches are the benchmark names the guard gates on.
+var guardedBenches = map[string]bool{
+	"decode":           true,
+	"edgedetect":       true,
+	"decode/streaming": true,
+}
+
+// runBenchGuard loads the committed baseline, re-runs the suite, and
+// returns an error describing every gated benchmark that regressed.
+func runBenchGuard(baselinePath string, seed int64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var baseline benchReport
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	base := make(map[string]benchResult, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[fmt.Sprintf("%s/w%d", b.Name, b.Workers)] = b
+	}
+
+	fresh, err := buildBenchReport(seed)
+	if err != nil {
+		return err
+	}
+
+	var failures []string
+	for _, b := range fresh.Benchmarks {
+		if !guardedBenches[b.Name] {
+			continue
+		}
+		key := fmt.Sprintf("%s/w%d", b.Name, b.Workers)
+		ref, ok := base[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from baseline (regenerate with -benchjson)", key))
+			continue
+		}
+		nsRatio := b.NsPerOp / ref.NsPerOp
+		allocRatio := float64(b.AllocsPerOp) / float64(ref.AllocsPerOp)
+		status := "ok"
+		if nsRatio > 1+guardThreshold {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (%+.1f%%)",
+				key, b.NsPerOp, ref.NsPerOp, 100*(nsRatio-1)))
+		}
+		if allocRatio > 1+guardThreshold {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %d vs baseline %d (%+.1f%%)",
+				key, b.AllocsPerOp, ref.AllocsPerOp, 100*(allocRatio-1)))
+		}
+		fmt.Printf("%-24s ns/op %11.0f (%+6.1f%%)  allocs/op %5d (%+6.1f%%)  %s\n",
+			key, b.NsPerOp, 100*(nsRatio-1), b.AllocsPerOp, 100*(allocRatio-1), status)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchguard: %s\n", f)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(failures), 100*guardThreshold)
+	}
+	fmt.Println("benchguard: all gated benchmarks within threshold")
+	return nil
+}

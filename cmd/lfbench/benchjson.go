@@ -3,8 +3,12 @@ package main
 // Machine-readable micro-benchmarks (-benchjson FILE). The suite
 // measures the hot pipeline stages with testing.Benchmark so the
 // numbers match `go test -bench` semantics (ns/op, B/op, allocs/op),
-// then emits one JSON document that CI or a plotting script can diff
-// across commits without scraping table output.
+// sweeps the worker-pool stages across fixed worker counts, and
+// profiles the streaming decoder's bounded-memory pipeline (sustained
+// samples/sec, peak retained window, first-frame latency). It emits
+// one JSON document that CI can diff across commits without scraping
+// table output; Makefile's `benchguard` target compares the committed
+// document against a fresh run.
 
 import (
 	"encoding/json"
@@ -16,9 +20,26 @@ import (
 	"lf/internal/edgedetect"
 )
 
+// streamBenchBlock matches the SDR DMA buffer size the streaming
+// pipeline is tuned for (see cmd/lfsim -block).
+const streamBenchBlock = 8192
+
+// streamBenchCalib bounds threshold calibration so detection runs
+// incrementally from mid-capture instead of deferring to Flush.
+const streamBenchCalib = 32768
+
+// workerSweep is the fixed worker-count ladder every pool stage is
+// measured at. Fixed counts (rather than GOMAXPROCS) keep the sweep
+// comparable across machines; the report's num_cpu field says how many
+// of the rungs had real cores behind them.
+var workerSweep = []int{1, 2, 4}
+
 // benchResult is one benchmark's measurement.
 type benchResult struct {
-	Name        string  `json:"name"`
+	Name string `json:"name"`
+	// Workers is the worker-pool size the stage ran at (0 for stages
+	// with no parallelism knob).
+	Workers     int     `json:"workers,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -27,14 +48,41 @@ type benchResult struct {
 	GoodputBps float64 `json:"goodput_bps,omitempty"`
 }
 
+// streamingMetrics characterizes the bounded-memory streaming decode
+// of the benchmark epoch.
+type streamingMetrics struct {
+	BlockSamples   int `json:"block_samples"`
+	CaptureSamples int `json:"capture_samples"`
+	// SamplesPerSecSustained is capture samples over the measured
+	// wall-clock time of one full push+flush pass (from the streaming
+	// benchmark's ns/op, so it includes every pipeline stage).
+	SamplesPerSecSustained float64 `json:"samples_per_sec_sustained"`
+	// RealtimeFactor is sustained throughput over the capture's own
+	// sample rate: >1 means the decoder keeps up with a live SDR feed.
+	RealtimeFactor float64 `json:"realtime_factor"`
+	// PeakRetainedBytes is the high-water mark of RetainedBytes across
+	// the push sequence; CaptureBytes is what batch decode would hold.
+	PeakRetainedBytes int64 `json:"peak_retained_bytes"`
+	CaptureBytes      int64 `json:"capture_bytes"`
+	// FirstFrameSeconds is the capture-time position (seconds of signal
+	// pushed) at which the first decoded frame was emitted, against the
+	// full CaptureSeconds a batch decoder would wait for.
+	FirstFrameSeconds float64 `json:"first_frame_seconds"`
+	CaptureSeconds    float64 `json:"capture_seconds"`
+}
+
 // benchReport is the top-level JSON document.
 type benchReport struct {
-	GoVersion  string        `json:"go_version"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Seed       int64         `json:"seed"`
-	Benchmarks []benchResult `json:"benchmarks"`
-	// DecodeSpeedup is serial decode ns/op over parallel decode ns/op
-	// on this machine. Meaningful only when GOMAXPROCS > 1.
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS is pinned to NumCPU for the suite so the parallel
+	// rungs of the worker sweep measure real concurrency.
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Seed       int64             `json:"seed"`
+	Benchmarks []benchResult     `json:"benchmarks"`
+	Streaming  *streamingMetrics `json:"streaming"`
+	// DecodeSpeedup is serial decode ns/op over the best swept decode
+	// ns/op on this machine. Meaningful only when NumCPU > 1.
 	DecodeSpeedup float64 `json:"decode_speedup"`
 }
 
@@ -57,24 +105,120 @@ func benchEpoch(seed int64) (*lf.Network, *lf.Epoch, error) {
 }
 
 // measure runs fn under testing.Benchmark with allocation tracking.
-func measure(name string, fn func(b *testing.B)) benchResult {
+func measure(name string, workers int, fn func(b *testing.B)) benchResult {
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		fn(b)
 	})
 	return benchResult{
 		Name:        name,
+		Workers:     workers,
 		NsPerOp:     float64(r.NsPerOp()),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
 	}
 }
 
+// profileStreaming runs one instrumented streaming pass (peak retained
+// window, first-frame position), then fills in throughput from the
+// streaming benchmark's ns/op.
+func profileStreaming(net *lf.Network, ep *lf.Epoch) (*streamingMetrics, benchResult, error) {
+	m := &streamingMetrics{
+		BlockSamples:   streamBenchBlock,
+		CaptureSamples: ep.Capture.Len(),
+		CaptureBytes:   int64(ep.Capture.Len()) * 16,
+		CaptureSeconds: float64(ep.Capture.Len()) / ep.Capture.SampleRate,
+	}
+
+	cfg := net.DecoderConfig()
+	cfg.CalibSamples = streamBenchCalib
+	var pushed int64
+	firstFrame := int64(-1)
+	cfg.OnFrame = func(*lf.StreamResult) {
+		if firstFrame < 0 {
+			firstFrame = pushed
+		}
+	}
+	dec, err := lf.NewDecoder(cfg)
+	if err != nil {
+		return nil, benchResult{}, err
+	}
+	sd, err := dec.NewStream()
+	if err != nil {
+		return nil, benchResult{}, err
+	}
+	err = ep.Blocks(streamBenchBlock, func(block []complex128) error {
+		if e := sd.Push(block); e != nil {
+			return e
+		}
+		pushed += int64(len(block))
+		if r := sd.RetainedBytes(); r > m.PeakRetainedBytes {
+			m.PeakRetainedBytes = r
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, benchResult{}, err
+	}
+	if _, err := sd.Flush(); err != nil {
+		return nil, benchResult{}, err
+	}
+	if firstFrame >= 0 {
+		m.FirstFrameSeconds = float64(firstFrame) / ep.Capture.SampleRate
+	}
+
+	// Throughput from the benchmark loop so it reflects steady state
+	// (pooled buffers warm) rather than a cold first pass.
+	bcfg := net.DecoderConfig()
+	bcfg.CalibSamples = streamBenchCalib
+	bdec, err := lf.NewDecoder(bcfg)
+	if err != nil {
+		return nil, benchResult{}, err
+	}
+	r := measure("decode/streaming", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := bdec.NewStream()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ep.Blocks(streamBenchBlock, s.Push); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if r.NsPerOp > 0 {
+		m.SamplesPerSecSustained = float64(m.CaptureSamples) / (r.NsPerOp / 1e9)
+		m.RealtimeFactor = m.SamplesPerSecSustained / ep.Capture.SampleRate
+	}
+	return m, r, nil
+}
+
 // writeBenchJSON runs the suite and writes the report to path.
 func writeBenchJSON(path string, seed int64) error {
-	net, ep, err := benchEpoch(seed)
+	report, err := buildBenchReport(seed)
 	if err != nil {
 		return err
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// buildBenchReport runs the full suite and returns the report.
+func buildBenchReport(seed int64) (*benchReport, error) {
+	// Pin GOMAXPROCS to the machine's core count so the worker sweep's
+	// parallel rungs measure real concurrency even when the binary
+	// inherits a restricted setting.
+	runtime.GOMAXPROCS(runtime.NumCPU())
+
+	net, ep, err := benchEpoch(seed)
+	if err != nil {
+		return nil, err
 	}
 
 	// Decoded once outside the timer to record the epoch's goodput.
@@ -89,38 +233,44 @@ func writeBenchJSON(path string, seed int64) error {
 	}
 	res, err := decodeAt(1)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	goodput := lf.ScoreEpoch(ep, res).AggregateBps
 
 	report := benchReport{
 		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       seed,
 	}
 
-	decodeBench := func(name string, parallelism int) benchResult {
-		r := measure(name, func(b *testing.B) {
+	var serialNs, bestNs float64
+	for _, w := range workerSweep {
+		w := w
+		r := measure("decode", w, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := decodeAt(parallelism); err != nil {
+				if _, err := decodeAt(w); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		r.GoodputBps = goodput
-		return r
+		report.Benchmarks = append(report.Benchmarks, r)
+		if w == 1 {
+			serialNs = r.NsPerOp
+		}
+		if bestNs == 0 || r.NsPerOp < bestNs {
+			bestNs = r.NsPerOp
+		}
 	}
-	serial := decodeBench("decode/serial", 1)
-	parallel := decodeBench("decode/parallel", 0)
-	report.Benchmarks = append(report.Benchmarks, serial, parallel)
-	if parallel.NsPerOp > 0 {
-		report.DecodeSpeedup = serial.NsPerOp / parallel.NsPerOp
+	if bestNs > 0 {
+		report.DecodeSpeedup = serialNs / bestNs
 	}
 
-	edgeBench := func(name string, parallelism int) benchResult {
+	for _, w := range workerSweep {
 		cfg := edgedetect.DefaultConfig()
-		cfg.Parallelism = parallelism
-		return measure(name, func(b *testing.B) {
+		cfg.Parallelism = w
+		report.Benchmarks = append(report.Benchmarks, measure("edgedetect", w, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				det, err := edgedetect.New(ep.Capture, cfg)
 				if err != nil {
@@ -128,13 +278,17 @@ func writeBenchJSON(path string, seed int64) error {
 				}
 				det.Release()
 			}
-		})
+		}))
 	}
-	report.Benchmarks = append(report.Benchmarks,
-		edgeBench("edgedetect/serial", 1),
-		edgeBench("edgedetect/parallel", 0))
 
-	report.Benchmarks = append(report.Benchmarks, measure("synthesize", func(b *testing.B) {
+	streaming, streamBench, err := profileStreaming(net, ep)
+	if err != nil {
+		return nil, err
+	}
+	report.Streaming = streaming
+	report.Benchmarks = append(report.Benchmarks, streamBench)
+
+	report.Benchmarks = append(report.Benchmarks, measure("synthesize", 0, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := net.RunEpoch(); err != nil {
 				b.Fatal(err)
@@ -142,7 +296,7 @@ func writeBenchJSON(path string, seed int64) error {
 		}
 	}))
 
-	report.Benchmarks = append(report.Benchmarks, measure("capture/roundtrip", func(b *testing.B) {
+	report.Benchmarks = append(report.Benchmarks, measure("capture/roundtrip", 0, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			var buf writeCounter
 			if _, err := ep.Capture.WriteTo(&buf); err != nil {
@@ -151,11 +305,7 @@ func writeBenchJSON(path string, seed int64) error {
 		}
 	}))
 
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return &report, nil
 }
 
 // writeCounter discards writes while counting them, so serialization

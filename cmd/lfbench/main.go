@@ -5,7 +5,8 @@
 // Usage:
 //
 //	lfbench [-exp all|table1|fig1|fig2|fig4|fig5|fig8|fig9|fig10|fig11|fig12|table2|table3|fig13|fig14|ablation]
-//	        [-seed N] [-epochs N] [-quick] [-workers N] [-benchjson FILE]
+//	        [-seed N] [-epochs N] [-quick] [-workers N]
+//	        [-benchjson FILE] [-benchguard BASELINE]
 package main
 
 import (
@@ -23,13 +24,14 @@ type runner struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig4, fig5, fig8, fig9, fig10, fig11, fig12, table2, table3, fig13, fig14, dynamics, reliable, ablation)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig4, fig5, fig8, fig9, fig10, fig11, fig12, table2, table3, fig13, fig14, dynamics, reliable, streaming, ablation)")
 	seed := flag.Int64("seed", 1, "random seed")
 	epochs := flag.Int("epochs", 3, "epochs per measured point")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast smoke run")
 	format := flag.String("format", "table", "output format: table or csv")
 	workers := flag.Int("workers", 0, "epoch-level parallelism (0 = all cores, 1 = serial); results are identical at any setting")
 	benchJSON := flag.String("benchjson", "", "run the micro-benchmark suite and write machine-readable results to this file instead of experiments")
+	benchGuard := flag.String("benchguard", "", "re-run the micro-benchmark suite and fail if the hot-path stages regressed >15% against this baseline JSON")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -38,6 +40,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote benchmark results to %s\n", *benchJSON)
+		return
+	}
+	if *benchGuard != "" {
+		if err := runBenchGuard(*benchGuard, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "lfbench: benchguard: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -59,6 +68,7 @@ func main() {
 		{"fig14", experiment.Fig14},
 		{"dynamics", experiment.DynamicsRobustness},
 		{"reliable", experiment.ReliableTransfer},
+		{"streaming", experiment.Streaming},
 		{"scalability", experiment.ScalabilityLowRate},
 		{"capacity", experiment.CapacityModel},
 		{"ablation", runAblations},

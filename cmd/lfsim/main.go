@@ -4,15 +4,18 @@
 //
 // Usage:
 //
-//	lfsim [-tags N] [-rate bps] [-payload-ms ms] [-seed N] [-workers N] [-v]
+//	lfsim [-tags N] [-rate bps] [-payload-ms ms] [-seed N] [-workers N]
+//	      [-stream] [-block N] [-calib N] [-record FILE] [-replay FILE] [-v]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"lf"
+	"lf/internal/iq"
 )
 
 func main() {
@@ -24,6 +27,9 @@ func main() {
 	record := flag.String("record", "", "write the epoch's IQ capture to this file (LFIQ container)")
 	replay := flag.String("replay", "", "decode a previously recorded capture instead of simulating (scoring unavailable)")
 	workers := flag.Int("workers", 0, "decoder parallelism (0 = all cores, 1 = serial); the decode is bit-identical at any setting")
+	stream := flag.Bool("stream", false, "decode through the streaming pipeline (bounded memory, frames surface mid-capture); bit-identical to batch")
+	block := flag.Int("block", 8192, "streaming block size in samples (with -stream)")
+	calib := flag.Int64("calib", 32768, "noise-calibration sample budget for -stream (0 defers decoding to end of capture)")
 	flag.Parse()
 
 	net, err := lf.NewNetwork(lf.NetworkConfig{
@@ -37,9 +43,40 @@ func main() {
 	}
 	dcfg := net.DecoderConfig()
 	dcfg.Parallelism = *workers
+	// Streaming-progress observables, fed by OnFrame as frames commit
+	// mid-capture.
+	var pushed, firstFrame, peak int64
+	firstFrame = -1
+	if *stream {
+		dcfg.CalibSamples = *calib
+		dcfg.OnFrame = func(*lf.StreamResult) {
+			if firstFrame < 0 {
+				firstFrame = pushed
+			}
+		}
+	}
 	dec, err := lf.NewDecoder(dcfg)
 	if err != nil {
 		fatal(err)
+	}
+	// push feeds one block to a streaming decode, tracking progress.
+	push := func(sd *lf.StreamDecoder, blk []complex128) error {
+		pushed += int64(len(blk))
+		if err := sd.Push(blk); err != nil {
+			return err
+		}
+		if r := sd.RetainedBytes(); r > peak {
+			peak = r
+		}
+		return nil
+	}
+	streamReport := func(rate float64) {
+		if firstFrame >= 0 {
+			fmt.Printf("streaming: first frame after %.2f of %.2f ms, peak retained %d KiB\n",
+				float64(firstFrame)/rate*1e3, float64(pushed)/rate*1e3, peak/1024)
+		} else {
+			fmt.Printf("streaming: no frame before end of capture, peak retained %d KiB\n", peak/1024)
+		}
 	}
 
 	if *replay != "" {
@@ -48,15 +85,56 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		capture, err := lf.ReadCapture(f)
-		if err != nil {
-			fatal(err)
+		var res *lf.Result
+		var durMS float64
+		var nSamples int64
+		if *stream {
+			// Bounded-memory replay: the capture never materializes; the
+			// container streams straight into the decode pipeline.
+			br, err := iq.NewBlockReader(f)
+			if err != nil {
+				fatal(err)
+			}
+			defer br.Close()
+			sd, err := dec.NewStream()
+			if err != nil {
+				fatal(err)
+			}
+			buf := make([]complex128, *block)
+			for {
+				n, err := br.Read(buf)
+				if n > 0 {
+					if perr := push(sd, buf[:n]); perr != nil {
+						fatal(perr)
+					}
+				}
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					fatal(err)
+				}
+			}
+			res, err = sd.Flush()
+			if err != nil {
+				fatal(err)
+			}
+			durMS = float64(br.Len()) / br.SampleRate() * 1e3
+			nSamples = br.Len()
+			streamReport(br.SampleRate())
+		} else {
+			capture, err := lf.ReadCapture(f)
+			if err != nil {
+				fatal(err)
+			}
+			res, err = dec.DecodeCapture(capture)
+			if err != nil {
+				fatal(err)
+			}
+			durMS = capture.Duration() * 1e3
+			nSamples = int64(capture.Len())
 		}
-		res, err := dec.DecodeCapture(capture)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("replayed %s: %.2f ms, %d samples\n", *replay, capture.Duration()*1e3, capture.Len())
+		fmt.Printf("replayed %s: %.2f ms, %d samples\n", *replay, durMS, nSamples)
 		fmt.Printf("edges detected: %d (noise floor %.2e)\n", res.EdgeCount, res.NoiseFloor)
 		fmt.Printf("streams: %d\n", len(res.Streams))
 		for i, sr := range res.Streams {
@@ -83,9 +161,25 @@ func main() {
 		}
 		fmt.Printf("recorded capture to %s\n", *record)
 	}
-	res, err := dec.Decode(ep)
-	if err != nil {
-		fatal(err)
+	var res *lf.Result
+	if *stream {
+		sd, err := dec.NewStream()
+		if err != nil {
+			fatal(err)
+		}
+		if err := ep.Blocks(*block, func(blk []complex128) error { return push(sd, blk) }); err != nil {
+			fatal(err)
+		}
+		res, err = sd.Flush()
+		if err != nil {
+			fatal(err)
+		}
+		streamReport(ep.Config.SampleRate)
+	} else {
+		res, err = dec.Decode(ep)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	score := lf.ScoreEpoch(ep, res)
 

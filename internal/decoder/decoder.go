@@ -7,9 +7,10 @@
 package decoder
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/cmplx"
-	"sort"
+	"slices"
 
 	"lf/internal/collide"
 	"lf/internal/edgedetect"
@@ -17,7 +18,6 @@ import (
 	"lf/internal/rng"
 	"lf/internal/streams"
 	"lf/internal/viterbi"
-	"lf/internal/work"
 )
 
 // SeparationMode selects how two-tag collisions are separated.
@@ -80,6 +80,26 @@ type Config struct {
 	// 1 = serial). Decoder-internal randomness is split per stream in a
 	// fixed order, so the decode is bit-identical at any setting.
 	Parallelism int
+	// CalibSamples bounds the edge detector's noise calibration to the
+	// first CalibSamples differential magnitudes, which is what lets
+	// the streaming decoder start detecting — and bound its memory —
+	// before end of capture. 0 calibrates over the whole capture at
+	// Flush (the historical batch semantics), deferring all detection
+	// to end of capture. Batch Decode honours the same knob, so batch
+	// and streaming stay bit-identical at any setting.
+	CalibSamples int64
+	// ViterbiWindow is the sliding trellis window of the sequence
+	// decoder: survivor paths commit as they merge and are truncated at
+	// this depth, bounding per-stream decoder state. 0 selects
+	// viterbi.DefaultWindow. Merge commits are exact, so results match
+	// the unwindowed recursion for any realistic capture.
+	ViterbiWindow int
+	// OnFrame, when non-nil, is invoked once per decoded stream as soon
+	// as its frame commits — before end of capture on the streaming
+	// path — in the same order the frames appear in Result.Streams.
+	// Callbacks run on the pushing goroutine; the *StreamResult is the
+	// same object later returned in the Result.
+	OnFrame func(*StreamResult)
 }
 
 // DefaultConfig assembles a full-pipeline decoder for captures at the
@@ -141,7 +161,10 @@ type Result struct {
 	RecoveredStreams int
 }
 
-// Decode runs the pipeline over one epoch's capture.
+// Decode runs the pipeline over one epoch's capture. It is a thin
+// wrapper over StreamDecoder — the capture is pushed as a single block
+// and flushed — so batch and streaming decode are one pipeline and
+// bit-identical by construction.
 //
 // The per-stream stages (slot walking, merged-pair splitting, sequence
 // decoding) and the sample-range stages (edge detection, SIC residual
@@ -154,81 +177,21 @@ func Decode(capture *iq.Capture, cfg Config) (*Result, error) {
 	if cfg.PayloadBits == nil {
 		return nil, fmt.Errorf("decoder: PayloadBits is required")
 	}
-	workers := work.Resolve(cfg.Parallelism)
-	ecfg := cfg.Edge
-	if ecfg.Parallelism == 0 {
-		ecfg.Parallelism = workers
+	if err := capture.Validate(); err != nil {
+		return nil, err
 	}
-	det, err := edgedetect.New(capture, ecfg)
+	sd, err := NewStreamDecoder(capture.SampleRate, cfg)
 	if err != nil {
 		return nil, err
 	}
-	defer det.Release()
-	sts, err := streams.Register(det.Edges(), cfg.Streams, cfg.PayloadBits)
-	if err != nil {
+	// SIC can subtract directly from the caller's capture; no retained
+	// copy needed on the batch path.
+	sd.retain = capture.Samples
+	sd.retainExt = true
+	if err := sd.Push(capture.Samples); err != nil {
 		return nil, err
 	}
-	res := &Result{EdgeCount: len(det.Edges()), NoiseFloor: det.NoiseFloor()}
-	src := rng.New(cfg.Seed)
-
-	// Walk every stream over its whole frame (preamble, delimiter,
-	// payload, plus slack for anchor misestimation); the payload is
-	// aligned on the delimiter after sequence decoding. Streams are
-	// independent once registered, so the walks fan out.
-	results := make([]*StreamResult, len(sts))
-	work.Do(workers, len(sts), func(i int) {
-		st := sts[i]
-		n := streams.FrameSlots(cfg.Streams, cfg.PayloadBits(st.Rate)) + alignSlack
-		results[i] = &StreamResult{Stream: st, Slots: streams.Walk(st, det, cfg.Streams, n)}
-	})
-
-	if cfg.Stages.IQSeparation {
-		// Split fully merged registrations (two tags on one slot grid)
-		// before cross-stream collision resolution. The re-walked
-		// constituents participate in ordinary collision resolution —
-		// their still-merged slots surface as two-claim edges there.
-		// Each split attempt draws from its own source, derived here in
-		// index order before the fan-out, so worker scheduling cannot
-		// perturb the k-means restarts.
-		snapshot := append([]*StreamResult(nil), results...)
-		splitSrcs := make([]*rng.Source, len(snapshot))
-		for i := range splitSrcs {
-			splitSrcs[i] = src.Split(fmt.Sprintf("split/%d", i))
-		}
-		others := make([]*StreamResult, len(snapshot))
-		work.Do(workers, len(snapshot), func(i int) {
-			if other, ok := trySplit(snapshot[i], det, cfg, splitSrcs[i]); ok {
-				others[i] = other
-			}
-		})
-		for _, other := range others {
-			if other != nil {
-				results = append(results, other)
-				res.MergedSplits++
-			}
-		}
-		// Collision groups rewrite slot observations across streams, so
-		// this stage stays serial (it is cheap relative to the walks).
-		resolveCollisions(results, cfg, src.Split("collisions"), res)
-	}
-
-	// Per-stream sequence decoding: pure per stream, fan out.
-	sigma2 := obsNoiseVariance(det.NoiseFloor())
-	work.Do(workers, len(results), func(i int) {
-		decodeStates(results[i], cfg, sigma2)
-	})
-
-	minRecoverE := 3 * det.NoiseFloor()
-	for round := 0; round < cfg.CancellationRounds; round++ {
-		fresh := cancelAndRetry(capture, results, cfg, minRecoverE, workers)
-		if len(fresh) == 0 {
-			break
-		}
-		results = append(results, fresh...)
-		res.RecoveredStreams += len(fresh)
-	}
-	res.Streams = results
-	return res, nil
+	return sd.Flush()
 }
 
 // decodeStates runs the sequence-decoding stage for one stream:
@@ -253,8 +216,9 @@ func decodeStates(sr *StreamResult, cfg Config, sigma2 float64) {
 	case cfg.Stages.ErrorCorrection:
 		// Slot 0 is (near) the anchor; the antenna is detuned
 		// before the frame, so the implicit previous edge is a
-		// falling one.
-		sr.States = viterbi.NewDecoder(0.5, viterbi.Down).Decode(emissions)
+		// falling one. The windowed recursion bounds survivor-path
+		// state at cfg.ViterbiWindow (0 = viterbi.DefaultWindow).
+		sr.States = viterbi.NewDecoder(0.5, viterbi.Down).DecodeWindowed(emissions, cfg.ViterbiWindow)
 	default:
 		sr.States = viterbi.HardDecode(emissions)
 	}
@@ -354,14 +318,31 @@ type claim struct {
 // separates them (blind or anchored), and rewrites each participant's
 // slot observation with the other tags' contributions cancelled.
 func resolveCollisions(results []*StreamResult, cfg Config, src *rng.Source, res *Result) {
-	claims := make(map[int][]claim)
+	// Collect every slot→edge reference into one flat list sorted by
+	// (edge, stream, slot): runs of equal edge index are that edge's
+	// claimant set, already in stream order. A single sorted slice
+	// replaces a map of per-edge lists on this per-slot hot path.
+	type edgeClaim struct {
+		edge int
+		claim
+	}
+	var all []edgeClaim
 	for si, sr := range results {
 		for ki, slot := range sr.Slots {
 			if slot.EdgeIdx >= 0 {
-				claims[slot.EdgeIdx] = append(claims[slot.EdgeIdx], claim{si, ki})
+				all = append(all, edgeClaim{slot.EdgeIdx, claim{si, ki}})
 			}
 		}
 	}
+	slices.SortFunc(all, func(a, b edgeClaim) int {
+		if a.edge != b.edge {
+			return a.edge - b.edge
+		}
+		if a.stream != b.stream {
+			return a.stream - b.stream
+		}
+		return a.slot - b.slot
+	})
 	// Group collision observations by the set of streams involved so a
 	// recurring pair accumulates lattice points.
 	type group struct {
@@ -370,36 +351,40 @@ func resolveCollisions(results []*StreamResult, cfg Config, src *rng.Source, res
 		cls     []claim // all claims, in edge order
 	}
 	groups := make(map[string]*group)
-	edgeIdxs := make([]int, 0, len(claims))
-	for edgeIdx := range claims {
-		edgeIdxs = append(edgeIdxs, edgeIdx)
-	}
-	sort.Ints(edgeIdxs) // deterministic grouping order
-	for _, edgeIdx := range edgeIdxs {
-		cl := claims[edgeIdx]
+	var keyBuf []byte // reused per edge; map lookups on string(keyBuf) do not allocate
+	for lo := 0; lo < len(all); {
+		hi := lo + 1
+		for hi < len(all) && all[hi].edge == all[lo].edge {
+			hi++
+		}
+		cl := all[lo:hi]
+		lo = hi
 		if len(cl) < 2 {
 			continue
 		}
-		sort.Slice(cl, func(i, j int) bool { return cl[i].stream < cl[j].stream })
-		key := ""
-		var ss []int
+		keyBuf = keyBuf[:0]
 		for _, c := range cl {
-			key += fmt.Sprintf("%d,", c.stream)
-			ss = append(ss, c.stream)
+			keyBuf = binary.BigEndian.AppendUint32(keyBuf, uint32(c.stream))
 		}
-		g, ok := groups[key]
+		g, ok := groups[string(keyBuf)]
 		if !ok {
+			ss := make([]int, len(cl))
+			for i, c := range cl {
+				ss[i] = c.stream
+			}
 			g = &group{streams: ss}
-			groups[key] = g
+			groups[string(keyBuf)] = g
 		}
-		g.edges = append(g.edges, edgeIdx)
-		g.cls = append(g.cls, cl...)
+		g.edges = append(g.edges, cl[0].edge)
+		for _, c := range cl {
+			g.cls = append(g.cls, c.claim)
+		}
 	}
 	keys := make([]string, 0, len(groups))
 	for k := range groups {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	for _, k := range keys {
 		g := groups[k]
 		switch {
@@ -440,7 +425,7 @@ func separatePair(results []*StreamResult, sa, sb int, cls []claim, cfg Config, 
 	for pos := range byEdge {
 		positions = append(positions, pos)
 	}
-	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	slices.Sort(positions)
 	for _, pos := range positions {
 		e := byEdge[pos]
 		if e[0] == 0 || e[1] == 0 {
@@ -516,7 +501,7 @@ func separateJoint(results []*StreamResult, cls []claim) {
 	for pos := range byEdge {
 		positions = append(positions, pos)
 	}
-	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	slices.Sort(positions)
 	for _, pos := range positions {
 		group := byEdge[pos]
 		if len(group) < 2 {

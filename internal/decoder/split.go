@@ -4,7 +4,6 @@ import (
 	"lf/internal/cluster"
 	"lf/internal/collide"
 	"lf/internal/dsp"
-	"lf/internal/edgedetect"
 	"lf/internal/rng"
 	"lf/internal/streams"
 )
@@ -44,7 +43,7 @@ func cleanFraction(slots []streams.SlotObs, e complex128, tol float64) float64 {
 // rewriting sr in place to be the first. Both constituents are
 // re-walked against the detector with their own edge vectors. The
 // returned bool reports whether a split happened.
-func trySplit(sr *StreamResult, det *edgedetect.Detector, cfg Config, src *rng.Source) (*StreamResult, bool) {
+func trySplit(sr *StreamResult, det streams.EdgeSource, cfg Config, src *rng.Source) (*StreamResult, bool) {
 	// Eye-registered streams already went through regional
 	// multi-generator analysis; re-splitting them would only act on
 	// residual contamination. Only preamble-matched registrations can

@@ -1,0 +1,319 @@
+package decoder
+
+import (
+	"errors"
+	"fmt"
+
+	"lf/internal/edgedetect"
+	"lf/internal/iq"
+	"lf/internal/pool"
+	"lf/internal/rng"
+	"lf/internal/streams"
+	"lf/internal/work"
+)
+
+// StreamDecoder runs the full decode pipeline over IQ samples pushed
+// in arbitrary blocks, with memory bounded by the detection window
+// instead of the capture length. Every stage advances exactly as far
+// as its inputs are final — incremental edge detection, stream
+// registration once the registration horizon clears, slot walking with
+// bounded lookahead, then collision separation and windowed-Viterbi
+// sequence decoding as soon as every walker drains — so decoded frames
+// surface (via Config.OnFrame and Result) long before end of capture.
+//
+// The result is bit-identical to pushing the whole capture as one
+// block: every incremental decision waits until the input that could
+// change it has provably passed (edgedetect.Stream's cut arguments,
+// streams.RegistrationHorizon, Walker.Horizon).
+//
+// Two configurations fall back to capture-proportional memory, by
+// design: CalibSamples = 0 defers threshold calibration (and hence all
+// detection) to Flush, and CancellationRounds > 0 retains a copy of
+// the raw samples because successive interference cancellation must
+// subtract reconstructed waveforms from the original capture.
+type StreamDecoder struct {
+	cfg        Config
+	workers    int
+	sampleRate float64
+	det        *edgedetect.Stream
+	src        *rng.Source
+	regCut     int64
+
+	registered bool
+	walkers    []*streams.Walker
+	results    []*StreamResult
+	commitCut  int64
+	pinned     bool // a preamble-sourced stream may be re-walked by trySplit
+	committed  bool
+	emitted    int
+
+	retain    []complex128 // raw capture, kept only for SIC
+	retainExt bool         // retain aliases caller-owned samples (batch path)
+
+	res  *Result
+	err  error
+	done bool
+}
+
+// NewStreamDecoder builds a streaming decoder. sampleRate describes
+// the pushed samples and must match cfg.Streams.SampleRate's capture
+// (it is only consulted by the cancellation stage).
+func NewStreamDecoder(sampleRate float64, cfg Config) (*StreamDecoder, error) {
+	if cfg.PayloadBits == nil {
+		return nil, fmt.Errorf("decoder: PayloadBits is required")
+	}
+	workers := work.Resolve(cfg.Parallelism)
+	ecfg := cfg.Edge
+	if ecfg.Parallelism == 0 {
+		ecfg.Parallelism = workers
+	}
+	det, err := edgedetect.NewStream(edgedetect.StreamConfig{Config: ecfg, CalibSamples: cfg.CalibSamples})
+	if err != nil {
+		return nil, err
+	}
+	return &StreamDecoder{
+		cfg:        cfg,
+		workers:    workers,
+		sampleRate: sampleRate,
+		det:        det,
+		src:        rng.New(cfg.Seed),
+		regCut:     streams.RegistrationHorizon(cfg.Streams, cfg.PayloadBits),
+		res:        &Result{},
+	}, nil
+}
+
+// Push feeds one block of IQ samples and advances every pipeline stage
+// as far as the new samples allow.
+func (sd *StreamDecoder) Push(block []complex128) error {
+	if sd.err != nil {
+		return sd.err
+	}
+	if sd.done {
+		return errors.New("decoder: push after flush")
+	}
+	if sd.cfg.CancellationRounds > 0 && !sd.retainExt {
+		if sd.retain == nil {
+			sd.retain = pool.Complex(0)
+		}
+		sd.retain = append(sd.retain, block...)
+	}
+	if err := sd.det.Push(block); err != nil {
+		sd.err = err
+		return err
+	}
+	sd.pump()
+	return sd.err
+}
+
+// Flush marks end of capture, drains every stage (including the
+// cancellation rounds, which need the whole capture), and returns the
+// final result — identical to what batch Decode returns.
+func (sd *StreamDecoder) Flush() (*Result, error) {
+	if sd.err != nil {
+		return nil, sd.err
+	}
+	if sd.done {
+		return sd.res, nil
+	}
+	if err := sd.det.Close(); err != nil {
+		sd.err = err
+		return nil, err
+	}
+	sd.pump()
+	if sd.err != nil {
+		return nil, sd.err
+	}
+	if sd.cfg.CancellationRounds > 0 {
+		capture := &iq.Capture{SampleRate: sd.sampleRate, Samples: sd.retain}
+		minRecoverE := 3 * sd.det.NoiseFloor()
+		for round := 0; round < sd.cfg.CancellationRounds; round++ {
+			fresh := cancelAndRetry(capture, sd.results, sd.cfg, minRecoverE, sd.workers)
+			if len(fresh) == 0 {
+				break
+			}
+			sd.results = append(sd.results, fresh...)
+			sd.res.RecoveredStreams += len(fresh)
+		}
+	}
+	sd.emitFrames()
+	sd.res.Streams = sd.results
+	sd.res.EdgeCount = len(sd.det.Edges())
+	sd.res.NoiseFloor = sd.det.NoiseFloor()
+	sd.det.Release()
+	if !sd.retainExt {
+		pool.PutComplex(sd.retain)
+		sd.retain = nil
+	}
+	sd.done = true
+	return sd.res, nil
+}
+
+// RetainedBytes reports the sample-proportional memory currently held:
+// the detector's sliding windows plus any raw-capture retention forced
+// by cancellation. Pool slack beyond the live windows is excluded (see
+// edgedetect.Stream.RetainedBytes).
+func (sd *StreamDecoder) RetainedBytes() int64 {
+	n := sd.det.RetainedBytes()
+	if !sd.retainExt {
+		n += int64(len(sd.retain)) * 16
+	}
+	return n
+}
+
+// pump advances registration, walking, and frame commit as far as the
+// detector's finalized-edge front allows, then slides the detector's
+// sample window past everything no stage can still read.
+func (sd *StreamDecoder) pump() {
+	if !sd.registered {
+		if sd.det.EdgeComplete() < sd.regCut && !sd.det.Closed() {
+			return
+		}
+		sd.register()
+		if sd.err != nil {
+			return
+		}
+	}
+	if !sd.committed {
+		sd.stepWalkers()
+		sd.maybeCommit()
+	}
+	sd.updateLowWater()
+}
+
+// register runs stream registration over the finalized edge prefix.
+// Registration reads nothing past streams.RegistrationHorizon, so the
+// prefix decides identically to the eventual full edge list.
+func (sd *StreamDecoder) register() {
+	sts, err := streams.Register(sd.det.Edges(), sd.cfg.Streams, sd.cfg.PayloadBits)
+	if err != nil {
+		sd.err = err
+		return
+	}
+	sd.registered = true
+	sd.walkers = make([]*streams.Walker, len(sts))
+	sd.results = make([]*StreamResult, len(sts))
+	drift := 1 + sd.cfg.Streams.DriftPPM/1e6
+	for i, st := range sts {
+		n := streams.FrameSlots(sd.cfg.Streams, sd.cfg.PayloadBits(st.Rate)) + alignSlack
+		sd.walkers[i] = streams.NewWalker(st, sd.cfg.Streams, n)
+		sd.results[i] = &StreamResult{Stream: st}
+		if sd.cfg.Stages.IQSeparation && st.Source == streams.SourcePreamble {
+			// trySplit may re-walk this stream's whole frame from its
+			// anchor, so the sample window cannot slide at all.
+			sd.pinned = true
+		}
+		// The commit stage (splitting, collision resolution) may re-walk
+		// a frame from its anchor; hold it until every edge a re-walk
+		// could pick is final.
+		end := int64(st.Offset+float64(n+2)*st.Period*drift) + sd.cfg.Streams.PosTol + 64
+		if end > sd.commitCut {
+			sd.commitCut = end
+		}
+	}
+}
+
+// stepWalkers advances every live walker while its next step's inputs
+// — the edges inside its pick window and the samples under its soft
+// measurement — are final.
+func (sd *StreamDecoder) stepWalkers() {
+	closed := sd.det.Closed()
+	edgeDone := sd.det.EdgeComplete()
+	front := sd.det.Front()
+	measureSpan := sd.cfg.Edge.Gap + sd.cfg.Edge.Win + 1
+	for _, w := range sd.walkers {
+		for !w.Done() {
+			if !closed && (edgeDone < w.Horizon() || front < w.MeasurePos()+measureSpan) {
+				break
+			}
+			w.Step(sd.det)
+		}
+	}
+}
+
+// maybeCommit runs the frame-commit stage — merged-pair splitting,
+// collision resolution, sequence decoding — once every walker has
+// drained and the edges a re-walk could touch are final, then emits
+// the committed frames.
+func (sd *StreamDecoder) maybeCommit() {
+	for _, w := range sd.walkers {
+		if !w.Done() {
+			return
+		}
+	}
+	if !sd.det.Closed() && (sd.det.EdgeComplete() < sd.commitCut || sd.det.Front() < sd.commitCut) {
+		return
+	}
+	for i, w := range sd.walkers {
+		sd.results[i].Slots = w.Obs()
+	}
+	results := sd.results
+	if sd.cfg.Stages.IQSeparation {
+		// Split fully merged registrations before cross-stream collision
+		// resolution; sources are derived in index order before the
+		// fan-out so worker scheduling cannot perturb the k-means
+		// restarts (see Decode).
+		snapshot := append([]*StreamResult(nil), results...)
+		splitSrcs := make([]*rng.Source, len(snapshot))
+		for i := range splitSrcs {
+			splitSrcs[i] = sd.src.Split(fmt.Sprintf("split/%d", i))
+		}
+		others := make([]*StreamResult, len(snapshot))
+		work.Do(sd.workers, len(snapshot), func(i int) {
+			if other, ok := trySplit(snapshot[i], sd.det, sd.cfg, splitSrcs[i]); ok {
+				others[i] = other
+			}
+		})
+		for _, other := range others {
+			if other != nil {
+				results = append(results, other)
+				sd.res.MergedSplits++
+			}
+		}
+		resolveCollisions(results, sd.cfg, sd.src.Split("collisions"), sd.res)
+	}
+	sigma2 := obsNoiseVariance(sd.det.NoiseFloor())
+	work.Do(sd.workers, len(results), func(i int) {
+		decodeStates(results[i], sd.cfg, sigma2)
+	})
+	sd.results = results
+	sd.committed = true
+	// Nothing past the commit stage measures the detector's sample
+	// window (cancellation works on its own raw-capture copy), so a
+	// trySplit pin no longer blocks the window from sliding.
+	sd.pinned = false
+	sd.emitFrames()
+}
+
+// emitFrames delivers newly committed frames through OnFrame, in
+// result order.
+func (sd *StreamDecoder) emitFrames() {
+	if sd.cfg.OnFrame == nil {
+		sd.emitted = len(sd.results)
+		return
+	}
+	for ; sd.emitted < len(sd.results); sd.emitted++ {
+		sd.cfg.OnFrame(sd.results[sd.emitted])
+	}
+}
+
+// updateLowWater slides the detector's sample window past everything
+// the remaining stages can still measure.
+func (sd *StreamDecoder) updateLowWater() {
+	if !sd.registered || sd.pinned || sd.det.Closed() {
+		return
+	}
+	low := sd.det.Front()
+	if !sd.committed {
+		for _, w := range sd.walkers {
+			if w.Done() {
+				continue
+			}
+			if lw := w.LowWater(); lw < low {
+				low = lw
+			}
+		}
+	}
+	if low > 0 {
+		sd.det.SetLowWater(low)
+	}
+}

@@ -174,7 +174,7 @@ func FindPeaksParallel(mag []float64, threshold float64, minSpacing int64, worke
 	for _, ps := range chunked {
 		peaks = append(peaks, ps...)
 	}
-	return suppress(peaks, minSpacing)
+	return Suppress(peaks, minSpacing)
 }
 
 // scanPeaks finds the raw local maxima of mag with index in [lo, hi).
@@ -205,10 +205,14 @@ func scanPeaks(mag []float64, lo, hi int, threshold float64) []Peak {
 	return peaks
 }
 
-// suppress applies greedy non-maximum suppression: peaks are visited in
+// Suppress applies greedy non-maximum suppression: peaks are visited in
 // decreasing value and any peak within minSpacing of an already accepted
-// peak is dropped. The result is re-sorted by position.
-func suppress(peaks []Peak, minSpacing int64) []Peak {
+// peak is dropped. The result is re-sorted by position; the input is not
+// modified. Greedy acceptance only ever interacts within minSpacing, so
+// running Suppress on position-separated chunks whose boundary gaps are
+// ≥ minSpacing equals one global pass — the property the incremental
+// edge detector's chunked flushing builds on.
+func Suppress(peaks []Peak, minSpacing int64) []Peak {
 	if len(peaks) <= 1 {
 		return peaks
 	}

@@ -9,10 +9,7 @@ package edgedetect
 import (
 	"fmt"
 
-	"lf/internal/dsp"
 	"lf/internal/iq"
-	"lf/internal/pool"
-	"lf/internal/work"
 )
 
 // Config tunes the detector.
@@ -99,10 +96,13 @@ type Edge struct {
 
 // Detector detects edges over one capture and provides differential
 // measurement at arbitrary positions (used later by the Viterbi stage
-// to take soft observations at slots where no edge was detected).
+// to take soft observations at slots where no edge was detected). It
+// is the batch façade over the incremental Stream: the whole capture
+// is pushed as one block, so batch and streaming detection share one
+// pipeline by construction.
 type Detector struct {
 	cfg    Config
-	prefix *dsp.Prefix
+	stream *Stream
 	floor  float64
 	edges  []Edge
 }
@@ -116,154 +116,30 @@ func New(capture *iq.Capture, cfg Config) (*Detector, error) {
 	if err := capture.Validate(); err != nil {
 		return nil, err
 	}
-	workers := work.Resolve(cfg.Parallelism)
-	d := &Detector{cfg: cfg, prefix: dsp.NewPrefix(capture.Samples)}
-	mag := pool.Float(len(capture.Samples))
-	d.prefix.DifferentialSeriesInto(mag, cfg.Gap, cfg.Win, workers)
-	// Positions whose averaging windows fall off the capture compare a
-	// clamped (empty) window against signal and read as huge phantom
-	// edges; blank the margins.
-	margin := int(cfg.Gap + cfg.Win)
-	for i := 0; i < margin && i < len(mag); i++ {
-		mag[i] = 0
-		mag[len(mag)-1-i] = 0
+	s, err := NewStream(StreamConfig{Config: cfg})
+	if err != nil {
+		return nil, err
 	}
-	d.floor = dsp.NoiseFloor(mag)
-	threshold := d.floor * cfg.ThresholdFactor
-	// Guard against a (near-)noiseless capture: the median floor is ~0
-	// there and numerical dust would detect as edges. Any real edge is
-	// within a factor ~20 of the strongest one (coalesced sums above,
-	// the weakest tag below), so a small fraction of the maximum is a
-	// safe absolute lower bound.
-	var maxMag float64
-	for _, v := range mag {
-		if v > maxMag {
-			maxMag = v
-		}
+	if err := s.Push(capture.Samples); err != nil {
+		return nil, err
 	}
-	if min := 0.05 * maxMag; threshold < min {
-		threshold = min
+	if err := s.Close(); err != nil {
+		return nil, err
 	}
-	peaks := dsp.FindPeaksParallel(mag, threshold, cfg.MinSpacing, workers)
-	centroidPeaks(mag, peaks, cfg.Gap, d.floor)
-	pool.PutFloat(mag)
-	d.edges = d.refine(coalesce(peaks, cfg.CoalesceDist))
-	return d, nil
-}
-
-// group is a run of peaks closer than CoalesceDist.
-type group struct {
-	first, last int64
-	pos         int64 // strength-weighted centre
-	peaks       int
-}
-
-// coalesce merges peaks into groups.
-func coalesce(peaks []dsp.Peak, dist int64) []group {
-	var groups []group
-	for i := 0; i < len(peaks); {
-		j := i
-		for j+1 < len(peaks) && peaks[j+1].Pos-peaks[j].Pos < dist {
-			j++
-		}
-		var wsum, psum float64
-		for k := i; k <= j; k++ {
-			wsum += peaks[k].Value
-			psum += peaks[k].Value * float64(peaks[k].Pos)
-		}
-		g := group{first: peaks[i].Pos, last: peaks[j].Pos, peaks: j - i + 1}
-		if wsum > 0 {
-			g.pos = int64(psum/wsum + 0.5)
-		} else {
-			g.pos = (g.first + g.last) / 2
-		}
-		groups = append(groups, g)
-		i = j + 1
-	}
-	return groups
-}
-
-// centroidPeaks refines each peak position to the floor-subtracted
-// magnitude centroid of its plateau. The differential magnitude is
-// flat for ~±Gap samples around the true edge centre (both averaging
-// windows clear the ramp anywhere on the plateau), so the raw argmax
-// jitters by a few samples under noise; the centroid is far steadier,
-// which matters downstream — the stream walker's period tracking feeds
-// on these positions.
-func centroidPeaks(mag []float64, peaks []dsp.Peak, gap int64, floor float64) {
-	n := int64(len(mag))
-	for pi := range peaks {
-		p := &peaks[pi]
-		var wsum, psum float64
-		span := gap + 2
-		for off := -span; off <= span; off++ {
-			i := p.Pos + off
-			if i < 0 || i >= n {
-				continue
-			}
-			w := mag[i] - floor
-			if w <= 0 {
-				continue
-			}
-			wsum += w
-			psum += w * float64(i)
-		}
-		if wsum > 0 {
-			p.Pos = int64(psum/wsum + 0.5)
-		}
-	}
-}
-
-// refine computes each edge group's differential with windows that
-// start outside the group's extent and extend up to (but not into) the
-// neighbouring groups, averaging over as many clean samples as
-// available on each side — the paper's "points between the previous
-// edge and the current edge" averaging.
-func (d *Detector) refine(groups []group) []Edge {
-	edges := make([]Edge, 0, len(groups))
-	for i, g := range groups {
-		before := d.cfg.MaxWin
-		after := d.cfg.MaxWin
-		if i > 0 {
-			gapToPrev := g.first - groups[i-1].last - 2*d.cfg.Gap
-			if gapToPrev < before {
-				before = gapToPrev
-			}
-		}
-		if i+1 < len(groups) {
-			gapToNext := groups[i+1].first - g.last - 2*d.cfg.Gap
-			if gapToNext < after {
-				after = gapToNext
-			}
-		}
-		if before < 1 {
-			before = 1
-		}
-		if after < 1 {
-			after = 1
-		}
-		a := d.prefix.Mean(g.last+d.cfg.Gap, g.last+d.cfg.Gap+after)
-		b := d.prefix.Mean(g.first-d.cfg.Gap-before, g.first-d.cfg.Gap)
-		diff := a - b
-		edges = append(edges, Edge{
-			Pos: g.pos, Diff: diff, Strength: dsp.Abs(diff),
-			First: g.first, Last: g.last, Peaks: g.peaks,
-		})
-	}
-	return edges
+	return &Detector{cfg: cfg, stream: s, floor: s.NoiseFloor(), edges: s.Edges()}, nil
 }
 
 // Edges returns the detected edges in increasing position.
 func (d *Detector) Edges() []Edge { return d.edges }
 
-// Release recycles the detector's prefix-sum buffer into the shared
-// scratch pool. The detector must not be used for measurement
-// (MeasureAt, MeasureAtClean, refinement) afterwards; Edges and
-// NoiseFloor stay valid. Calling Release is optional.
+// Release recycles the detector's sample-proportional buffers into the
+// shared scratch pool. The detector must not be used for measurement
+// (MeasureAt, MeasureAtClean) afterwards; Edges and NoiseFloor stay
+// valid. Calling Release is optional.
 func (d *Detector) Release() {
-	if d.prefix != nil {
-		d.prefix.Release()
-		d.prefix = nil
+	if d.stream != nil {
+		d.stream.Release()
+		d.stream = nil
 	}
 }
 
@@ -274,15 +150,13 @@ func (d *Detector) NoiseFloor() float64 { return d.floor }
 // using the default windows — the soft observation for slots where no
 // edge was detected.
 func (d *Detector) MeasureAt(pos int64) complex128 {
-	return d.prefix.Differential(pos, d.cfg.Gap, d.cfg.Win)
+	return d.stream.MeasureAt(pos)
 }
 
 // MeasureAtClean is like MeasureAt but with wider windows, for slots
 // known to be far from other activity.
 func (d *Detector) MeasureAtClean(pos int64) complex128 {
-	a := d.prefix.Mean(pos+d.cfg.Gap, pos+d.cfg.Gap+d.cfg.MaxWin)
-	b := d.prefix.Mean(pos-d.cfg.Gap-d.cfg.MaxWin, pos-d.cfg.Gap)
-	return a - b
+	return d.stream.MeasureAtClean(pos)
 }
 
 // NearestEdge returns the index of the edge closest to pos within

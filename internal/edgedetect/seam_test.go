@@ -16,15 +16,17 @@ import (
 func TestChunkSeamEdgeDetectedOnce(t *testing.T) {
 	const (
 		sampleRate = 25e6
-		duration   = 1600e-6 // 40000 samples
 		workers    = 4
 	)
-	n := int(duration * sampleRate)
+	// Size the capture to exactly `workers` minimum-size chunks so every
+	// interior boundary is a real seam at any MinChunk setting.
+	n := workers * work.MinChunk
+	duration := float64(n) / sampleRate
 	bounds := work.Bounds(workers, n)
 	if len(bounds) != workers+1 {
 		t.Fatalf("Bounds(%d, %d) = %v, want %d chunks", workers, n, bounds, workers)
 	}
-	// One toggle per interior seam: samples 10000, 20000, 30000.
+	// One toggle per interior seam.
 	var toggles []tag.Toggle
 	state := byte(1)
 	for _, seam := range bounds[1 : len(bounds)-1] {

@@ -1,0 +1,683 @@
+package edgedetect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"lf/internal/dsp"
+	"lf/internal/pool"
+	"lf/internal/work"
+)
+
+// StreamConfig tunes the incremental detector.
+type StreamConfig struct {
+	Config
+	// CalibSamples bounds noise-floor calibration: the detection
+	// threshold is derived from the first CalibSamples differential
+	// magnitudes, and edge extraction starts as soon as they have
+	// streamed in. 0 defers calibration to Close and computes the
+	// threshold over the whole capture — the batch semantics, which
+	// necessarily retains the whole magnitude series until Close.
+	CalibSamples int64
+}
+
+// Stream is an incremental edge detector: IQ samples are pushed in
+// arbitrary blocks and edges appear in Edges() as soon as they are
+// final. The sequence of detected edges is a pure function of the
+// sample sequence — block boundaries never influence the result —
+// because every stage either works on from-origin prefix sums
+// (identical float operation order at any block size) or defers its
+// decision until the input that could still change it has provably
+// passed (see flushPeaks and finalizeGroups for the cut arguments).
+//
+// Memory is bounded by the calibration window plus the caller's
+// low-water mark: once calibrated, sample-proportional state is
+// trimmed up to the point that pending detection work — or a
+// measurement the caller may still request (SetLowWater) — could
+// touch. With CalibSamples = 0 (or the default low-water of 0)
+// nothing is trimmed and the stream degenerates to the batch
+// detector's footprint.
+type Stream struct {
+	cfg     Config
+	calib   int64
+	workers int
+
+	// From-origin prefix sums of the pushed samples. sums[j] is the
+	// sum of samples [0, sumBase+j); len(sums) == front-sumBase+1.
+	sums    []complex128
+	sumBase int64
+	acc     complex128
+	front   int64 // samples pushed so far
+
+	// Differential magnitudes for positions [magBase, magDone).
+	mag     []float64
+	magBase int64
+	magDone int64
+
+	calibrated bool
+	floor      float64
+	threshold  float64
+
+	scanned  int64      // local-maximum scan is complete for positions < scanned
+	raw      []dsp.Peak // raw maxima awaiting a safe NMS/coalesce cut
+	byValue  []dsp.Peak // scratch for suppressChunk
+	kept     []dsp.Peak // scratch for suppressChunk
+	groups   []group    // coalesced groups awaiting refinement; head at ghead
+	ghead    int
+	prevLast int64 // last peak position of the previously refined group
+	havePrev bool
+
+	edges []Edge
+
+	eof      bool
+	total    int64
+	lowWater int64 // caller promises no MeasureAt below this position
+	err      error
+	released bool
+}
+
+// NewStream builds an incremental detector. Push blocks of samples,
+// then Close; Edges/EdgeComplete may be consulted at any point.
+func NewStream(cfg StreamConfig) (*Stream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CalibSamples < 0 {
+		return nil, fmt.Errorf("edgedetect: negative CalibSamples %d", cfg.CalibSamples)
+	}
+	s := &Stream{cfg: cfg.Config, calib: cfg.CalibSamples, workers: work.Resolve(cfg.Parallelism)}
+	s.sums = append(pool.Complex(0), 0)
+	s.mag = pool.Float(0)
+	return s, nil
+}
+
+// Reset rewinds the stream for a fresh capture, retaining every
+// internal buffer at its grown capacity so steady-state reuse does not
+// allocate. Edges returned before the Reset are invalidated.
+func (s *Stream) Reset() {
+	if s.released {
+		s.sums = pool.Complex(0)
+		s.mag = pool.Float(0)
+		s.released = false
+	}
+	s.sums = append(s.sums[:0], 0)
+	s.sumBase, s.acc, s.front = 0, 0, 0
+	s.mag = s.mag[:0]
+	s.magBase, s.magDone = 0, 0
+	s.calibrated, s.floor, s.threshold = false, 0, 0
+	s.scanned = 0
+	s.raw, s.byValue, s.kept = s.raw[:0], s.byValue[:0], s.kept[:0]
+	s.groups, s.ghead = s.groups[:0], 0
+	s.prevLast, s.havePrev = 0, false
+	s.edges = s.edges[:0]
+	s.eof, s.total, s.lowWater = false, 0, 0
+	s.err = nil
+}
+
+// Push appends a block of IQ samples and advances detection as far as
+// the new samples allow.
+func (s *Stream) Push(block []complex128) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.released {
+		return errors.New("edgedetect: push on released stream")
+	}
+	if s.eof {
+		return errors.New("edgedetect: push after close")
+	}
+	for i, v := range block {
+		if cmplx.IsNaN(v) || cmplx.IsInf(v) {
+			s.err = fmt.Errorf("edgedetect: sample %d is not finite", s.front+int64(i))
+			return s.err
+		}
+	}
+	for _, v := range block {
+		s.acc += v
+		s.sums = append(s.sums, s.acc)
+	}
+	s.front += int64(len(block))
+	s.advance()
+	s.trim()
+	return nil
+}
+
+// Close marks end of capture, drains every pending stage, and frees
+// the magnitude series (measurement via the prefix sums stays valid
+// until Release).
+func (s *Stream) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.released {
+		return errors.New("edgedetect: close on released stream")
+	}
+	if s.eof {
+		return nil
+	}
+	if s.front == 0 {
+		s.err = errors.New("edgedetect: capture has no samples")
+		return s.err
+	}
+	s.eof = true
+	s.total = s.front
+	s.advance()
+	if s.mag != nil {
+		pool.PutFloat(s.mag)
+		s.mag = nil
+		s.magBase = s.magDone
+	}
+	s.raw = s.raw[:0]
+	s.groups, s.ghead = s.groups[:0], 0
+	return nil
+}
+
+// Release recycles the sample-proportional buffers into the shared
+// scratch pool. The stream must not be used for measurement after.
+func (s *Stream) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	pool.PutComplex(s.sums)
+	s.sums = nil
+	if s.mag != nil {
+		pool.PutFloat(s.mag)
+		s.mag = nil
+	}
+}
+
+// Edges returns the edges finalised so far, in increasing position.
+// The slice is appended to by subsequent pushes; callers must not
+// retain it across Push/Reset.
+func (s *Stream) Edges() []Edge { return s.edges }
+
+// NoiseFloor returns the calibrated background differential magnitude
+// (0 before calibration).
+func (s *Stream) NoiseFloor() float64 { return s.floor }
+
+// Calibrated reports whether the detection threshold has been fixed.
+func (s *Stream) Calibrated() bool { return s.calibrated }
+
+// Front returns the number of samples pushed so far.
+func (s *Stream) Front() int64 { return s.front }
+
+// Closed reports whether Close has been called.
+func (s *Stream) Closed() bool { return s.eof }
+
+// EdgeComplete returns the detection horizon: every edge whose Pos is
+// below it is present and final in Edges(), and no future edge can
+// appear below it. It is monotone non-decreasing across pushes and
+// reaches past the capture end once Close has drained the pipeline.
+func (s *Stream) EdgeComplete() int64 {
+	if !s.calibrated {
+		return 0
+	}
+	if s.eof {
+		return s.total
+	}
+	m := s.futureFirstMin()
+	if s.ghead < len(s.groups) && s.groups[s.ghead].first < m {
+		m = s.groups[s.ghead].first
+	}
+	if m < 0 {
+		m = 0
+	}
+	return m
+}
+
+// SetLowWater promises that no MeasureAt/MeasureAtClean call will ever
+// target a position below pos, allowing the prefix-sum window to slide
+// forward. The mark is monotone: lowering it is ignored.
+func (s *Stream) SetLowWater(pos int64) {
+	if pos > s.lowWater {
+		s.lowWater = pos
+		s.trim()
+	}
+}
+
+// RetainedBytes reports the sample-proportional window currently live
+// (prefix sums, magnitude series, and detection scratch). The edge
+// list itself — output, not window state — is excluded, as is buffer
+// capacity beyond the live window: the backing arrays come from the
+// shared pool and may carry slack amortized across unrelated decodes.
+func (s *Stream) RetainedBytes() int64 {
+	return int64(len(s.sums))*16 + int64(len(s.mag))*8 +
+		int64(len(s.raw)+len(s.byValue)+len(s.kept))*16 +
+		int64(len(s.groups)-s.ghead)*32
+}
+
+// MeasureAt returns the IQ differential at an arbitrary position with
+// the default detection windows. The position's windows must lie above
+// the low-water mark and (before Close) within the pushed samples.
+func (s *Stream) MeasureAt(pos int64) complex128 {
+	after := s.meanRange(pos+s.cfg.Gap, pos+s.cfg.Gap+s.cfg.Win)
+	before := s.meanRange(pos-s.cfg.Gap-s.cfg.Win, pos-s.cfg.Gap)
+	return after - before
+}
+
+// MeasureAtClean is MeasureAt with the widened refinement windows.
+func (s *Stream) MeasureAtClean(pos int64) complex128 {
+	after := s.meanRange(pos+s.cfg.Gap, pos+s.cfg.Gap+s.cfg.MaxWin)
+	before := s.meanRange(pos-s.cfg.Gap-s.cfg.MaxWin, pos-s.cfg.Gap)
+	return after - before
+}
+
+// limit is the exclusive upper bound of known sample positions: the
+// capture length once closed, else the pushed front.
+func (s *Stream) limit() int64 {
+	if s.eof {
+		return s.total
+	}
+	return s.front
+}
+
+// prefixAt returns the from-origin prefix sum of samples [0, p).
+func (s *Stream) prefixAt(p int64) complex128 {
+	j := p - s.sumBase
+	if j < 0 {
+		panic("edgedetect: stream prefix window underrun (SetLowWater too aggressive?)")
+	}
+	return s.sums[j]
+}
+
+// meanRange is the clamped windowed mean, bit-identical to the batch
+// detector's prefix Mean: identical clamping and the same subtraction
+// and division of from-origin sums.
+func (s *Stream) meanRange(lo, hi int64) complex128 {
+	if lo < 0 {
+		lo = 0
+	}
+	if n := s.limit(); hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return 0
+	}
+	return (s.prefixAt(hi) - s.prefixAt(lo)) / complex(float64(hi-lo), 0)
+}
+
+func (s *Stream) magAt(i int64) float64 { return s.mag[i-s.magBase] }
+
+// futureFirstMin lower-bounds the first-peak position of any group not
+// yet coalesced: pending raw maxima (or any maximum yet to be scanned)
+// sit at min(raw[0].Pos, scanned) or later, and centroiding moves a
+// peak by at most Gap+2.
+func (s *Stream) futureFirstMin() int64 {
+	m := s.scanned
+	if len(s.raw) > 0 && s.raw[0].Pos < m {
+		m = s.raw[0].Pos
+	}
+	return m - (s.cfg.Gap + 2)
+}
+
+// advance runs every detection stage as far as the pushed samples
+// permit: magnitude extension, calibration, local-maximum scan, safe
+// NMS/coalesce cuts, and group refinement.
+func (s *Stream) advance() {
+	g, w := s.cfg.Gap, s.cfg.Win
+	margin := g + w
+
+	// 1. Differential magnitudes. A position's windows span ±(Gap+Win),
+	// so pre-Close only positions below front−margin are computable;
+	// margins at both capture ends are blanked exactly as in the batch
+	// detector (clamped half-windows would read as phantom edges).
+	hi := s.front - margin
+	if s.eof {
+		hi = s.total
+	}
+	if hi > s.magDone {
+		lo := s.magDone
+		count := int(hi - lo)
+		s.mag = extendFloats(s.mag, count)
+		off := lo - s.magBase
+		limit := s.limit()
+		work.DoRanges(s.workers, count, func(clo, chi int) {
+			for i := clo; i < chi; i++ {
+				p := lo + int64(i)
+				if p < margin || p >= limit-margin {
+					s.mag[off+int64(i)] = 0
+					continue
+				}
+				d := s.meanRange(p+g, p+g+w) - s.meanRange(p-g-w, p-g)
+				s.mag[off+int64(i)] = math.Hypot(real(d), imag(d))
+			}
+		})
+		s.magDone = hi
+	}
+
+	// 2. Calibration: fix the threshold over the configured prefix, or
+	// over the whole series at Close when CalibSamples is 0.
+	if !s.calibrated {
+		calibN := int64(-1)
+		switch {
+		case s.calib > 0 && s.magDone >= s.calib:
+			calibN = s.calib
+		case s.eof:
+			calibN = s.magDone
+			if s.calib > 0 && s.calib < calibN {
+				calibN = s.calib
+			}
+		}
+		if calibN < 0 {
+			return
+		}
+		window := s.mag[:calibN-s.magBase]
+		s.floor = dsp.NoiseFloor(window)
+		s.threshold = s.floor * s.cfg.ThresholdFactor
+		// Guard against a (near-)noiseless capture, as in the batch
+		// detector: a hard floor at a small fraction of the strongest
+		// differential seen in the calibration window.
+		var maxMag float64
+		for _, v := range window {
+			if v > maxMag {
+				maxMag = v
+			}
+		}
+		if min := 0.05 * maxMag; s.threshold < min {
+			s.threshold = min
+		}
+		s.calibrated = true
+	}
+
+	// 3. Local-maximum scan. Serial by construction (it is a trivial
+	// fraction of stage 1's work) and identical to the batch chunked
+	// scan, which concatenates in position order. Position i needs
+	// mag[i+1], so pre-Close the scan trails magDone by one.
+	scanHi := s.magDone - 1
+	if s.eof {
+		scanHi = s.total
+	}
+	if scanHi > s.scanned {
+		limit := s.limit()
+		for i := s.scanned; i < scanHi; i++ {
+			v := s.magAt(i)
+			if v < s.threshold {
+				continue
+			}
+			if i > 0 && s.magAt(i-1) > v {
+				continue
+			}
+			if i+1 < limit && s.magAt(i+1) > v {
+				continue
+			}
+			if i > 0 && s.magAt(i-1) == v {
+				continue // plateau continuation
+			}
+			s.raw = append(s.raw, dsp.Peak{Pos: i, Value: v})
+		}
+		s.scanned = scanHi
+	}
+
+	s.flushPeaks()
+	s.finalizeGroups()
+}
+
+// flushPeaks runs non-maximum suppression, centroiding, and coalescing
+// over the longest raw-peak prefix that is safe to cut: the gap after
+// the prefix (to the next raw peak, or to where future peaks can still
+// appear) must be at least max(MinSpacing, CoalesceDist+2·(Gap+2))+1
+// raw samples. NMS chains only interact within MinSpacing, coalesce
+// groups within CoalesceDist, and centroiding moves a peak by at most
+// Gap+2, so no chain or group can straddle such a cut — processing the
+// prefix alone equals the batch global pass restricted to it, at any
+// block size. The prefix additionally waits until its centroid windows
+// (±(Gap+2)) are fully computed.
+func (s *Stream) flushPeaks() {
+	if len(s.raw) == 0 {
+		return
+	}
+	span := s.cfg.Gap + 2
+	cut := s.cfg.MinSpacing
+	if d := s.cfg.CoalesceDist + 2*span; d > cut {
+		cut = d
+	}
+	cut++
+	flushN := 0
+	if s.eof {
+		flushN = len(s.raw)
+	} else {
+		for c := len(s.raw); c >= 1; c-- {
+			if s.raw[c-1].Pos+span >= s.magDone {
+				continue // centroid window not fully computed yet
+			}
+			next := s.scanned // future maxima appear at scanned or later
+			if c < len(s.raw) {
+				next = s.raw[c].Pos
+			}
+			if next-s.raw[c-1].Pos >= cut {
+				flushN = c
+				break
+			}
+		}
+	}
+	if flushN == 0 {
+		return
+	}
+	kept := s.suppressChunk(s.raw[:flushN])
+	s.centroid(kept)
+	s.groups = coalesceInto(s.groups, kept, s.cfg.CoalesceDist)
+	s.raw = append(s.raw[:0], s.raw[flushN:]...)
+}
+
+// suppressChunk is greedy non-maximum suppression over one flushed
+// chunk, reusing stream-owned scratch so the steady state allocates
+// nothing. Peaks are visited in (value desc, position asc) order — a
+// total order, so the result is deterministic even under exact value
+// ties — and returned sorted by position, like dsp.Suppress.
+func (s *Stream) suppressChunk(chunk []dsp.Peak) []dsp.Peak {
+	s.byValue = append(s.byValue[:0], chunk...)
+	bv := s.byValue
+	for i := 1; i < len(bv); i++ {
+		p := bv[i]
+		j := i - 1
+		for j >= 0 && (bv[j].Value < p.Value || (bv[j].Value == p.Value && bv[j].Pos > p.Pos)) {
+			bv[j+1] = bv[j]
+			j--
+		}
+		bv[j+1] = p
+	}
+	s.kept = s.kept[:0]
+	for _, p := range bv {
+		ok := true
+		for _, k := range s.kept {
+			d := p.Pos - k.Pos
+			if d < 0 {
+				d = -d
+			}
+			if d < s.cfg.MinSpacing {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			s.kept = append(s.kept, p)
+		}
+	}
+	kp := s.kept
+	for i := 1; i < len(kp); i++ {
+		p := kp[i]
+		j := i - 1
+		for j >= 0 && kp[j].Pos > p.Pos {
+			kp[j+1] = kp[j]
+			j--
+		}
+		kp[j+1] = p
+	}
+	return kp
+}
+
+// centroid refines each surviving peak to the floor-subtracted
+// magnitude centroid of its ±(Gap+2) neighbourhood — the batch
+// detector's centroidPeaks over the streaming magnitude window.
+func (s *Stream) centroid(peaks []dsp.Peak) {
+	span := s.cfg.Gap + 2
+	limit := s.limit()
+	for pi := range peaks {
+		p := &peaks[pi]
+		var wsum, psum float64
+		for off := -span; off <= span; off++ {
+			i := p.Pos + off
+			if i < 0 || i >= limit {
+				continue
+			}
+			w := s.magAt(i) - s.floor
+			if w <= 0 {
+				continue
+			}
+			wsum += w
+			psum += w * float64(i)
+		}
+		if wsum > 0 {
+			p.Pos = int64(psum/wsum + 0.5)
+		}
+	}
+}
+
+// finalizeGroups refines queued groups into edges once their widened
+// averaging windows are settled. A head group without a known
+// successor must wait until no future group can begin within MaxWin of
+// it (futureFirstMin), at which point its trailing window is MaxWin
+// wide whether refinement happens now or at Close — the choice of
+// flush moment never changes the refined value.
+func (s *Stream) finalizeGroups() {
+	for s.ghead < len(s.groups) {
+		g := s.groups[s.ghead]
+		after := s.cfg.MaxWin
+		if s.ghead+1 < len(s.groups) {
+			if gap := s.groups[s.ghead+1].first - g.last - 2*s.cfg.Gap; gap < after {
+				after = gap
+			}
+		} else if !s.eof {
+			if s.futureFirstMin()-g.last-2*s.cfg.Gap < s.cfg.MaxWin {
+				break
+			}
+		}
+		before := s.cfg.MaxWin
+		if s.havePrev {
+			if gap := g.first - s.prevLast - 2*s.cfg.Gap; gap < before {
+				before = gap
+			}
+		}
+		if before < 1 {
+			before = 1
+		}
+		if after < 1 {
+			after = 1
+		}
+		a := s.meanRange(g.last+s.cfg.Gap, g.last+s.cfg.Gap+after)
+		b := s.meanRange(g.first-s.cfg.Gap-before, g.first-s.cfg.Gap)
+		diff := a - b
+		s.edges = append(s.edges, Edge{
+			Pos: g.pos, Diff: diff, Strength: dsp.Abs(diff),
+			First: g.first, Last: g.last, Peaks: g.peaks,
+		})
+		s.prevLast, s.havePrev = g.last, true
+		s.ghead++
+	}
+	if s.ghead > 64 && s.ghead*2 >= len(s.groups) {
+		s.groups = append(s.groups[:0], s.groups[s.ghead:]...)
+		s.ghead = 0
+	}
+}
+
+// trim slides the sample-proportional windows forward past everything
+// that pending detection stages — or caller measurements above the
+// low-water mark — can still read. Compaction is amortised: a copy
+// happens only once the droppable span rivals the retained span.
+func (s *Stream) trim() {
+	if !s.calibrated || s.released || s.eof {
+		return
+	}
+	const slack = 4
+	g, mw := s.cfg.Gap, s.cfg.MaxWin
+	span := g + 2
+
+	keepSum := s.lowWater - g - mw
+	if k := s.magDone - g - s.cfg.Win; k < keepSum {
+		keepSum = k // next differential reads from magDone−Gap−Win
+	}
+	if k := s.futureFirstMin() - g - mw; k < keepSum {
+		keepSum = k // a future group's leading window
+	}
+	if s.ghead < len(s.groups) {
+		if k := s.groups[s.ghead].first - g - mw; k < keepSum {
+			keepSum = k // the queued head group's leading window
+		}
+	}
+	s.dropSums(keepSum - slack)
+
+	s.dropMag(s.futureFirstMin() - span - slack)
+}
+
+func (s *Stream) dropSums(keep int64) {
+	if keep > s.front {
+		keep = s.front
+	}
+	drop := keep - s.sumBase
+	if drop < 1<<13 || int(drop) < len(s.sums)/2 {
+		return
+	}
+	n := copy(s.sums, s.sums[drop:])
+	s.sums = s.sums[:n]
+	s.sumBase = keep
+}
+
+func (s *Stream) dropMag(keep int64) {
+	if keep > s.magDone {
+		keep = s.magDone
+	}
+	drop := keep - s.magBase
+	if drop < 1<<13 || int(drop) < len(s.mag)/2 {
+		return
+	}
+	n := copy(s.mag, s.mag[drop:])
+	s.mag = s.mag[:n]
+	s.magBase = keep
+}
+
+// extendFloats grows b by n entries without zeroing them (every caller
+// overwrites the extension) and without a temporary allocation.
+func extendFloats(b []float64, n int) []float64 {
+	need := len(b) + n
+	for cap(b) < need {
+		b = append(b[:cap(b)], 0)
+	}
+	return b[:need]
+}
+
+// group is a run of surviving peaks closer than CoalesceDist, pending
+// refinement into an Edge.
+type group struct {
+	first, last int64
+	pos         int64 // strength-weighted centre
+	peaks       int
+}
+
+// coalesceInto merges position-sorted peaks into groups, appending to
+// dst. Groups never straddle a flush cut (see flushPeaks), so chunked
+// coalescing equals the batch pass.
+func coalesceInto(dst []group, peaks []dsp.Peak, dist int64) []group {
+	for i := 0; i < len(peaks); {
+		j := i
+		for j+1 < len(peaks) && peaks[j+1].Pos-peaks[j].Pos < dist {
+			j++
+		}
+		var wsum, psum float64
+		for k := i; k <= j; k++ {
+			wsum += peaks[k].Value
+			psum += peaks[k].Value * float64(peaks[k].Pos)
+		}
+		g := group{first: peaks[i].Pos, last: peaks[j].Pos, peaks: j - i + 1}
+		if wsum > 0 {
+			g.pos = int64(psum/wsum + 0.5)
+		} else {
+			g.pos = (g.first + g.last) / 2
+		}
+		dst = append(dst, g)
+		i = j + 1
+	}
+	return dst
+}

@@ -18,7 +18,6 @@ package iq
 import (
 	"bufio"
 	"encoding/binary"
-	"fmt"
 	"io"
 	"math"
 
@@ -93,54 +92,22 @@ func (c *Capture) WriteTo(w io.Writer) (int64, error) {
 	return n, bw.Flush()
 }
 
-// ReadCapture deserializes a capture written by WriteTo.
+// ReadCapture deserializes a capture written by WriteTo, materializing
+// the whole sample array. For bounded-memory replay of long captures,
+// use BlockReader directly and feed the blocks to a streaming decoder.
 func ReadCapture(r io.Reader) (*Capture, error) {
-	br := bufio.NewReader(r)
-	var magic [4]byte
-	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
-		return nil, fmt.Errorf("iq: reading magic: %w", err)
+	br, err := NewBlockReader(r)
+	if err != nil {
+		return nil, err
 	}
-	if magic != fileMagic {
-		return nil, fmt.Errorf("iq: bad magic %q", magic)
+	defer br.Close()
+	c := &Capture{
+		SampleRate: br.SampleRate(),
+		Start:      br.Start(),
+		Samples:    make([]complex128, br.Len()),
 	}
-	var version uint32
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("iq: reading version: %w", err)
-	}
-	if version != fileVersion {
-		return nil, fmt.Errorf("iq: unsupported capture version %d", version)
-	}
-	c := &Capture{}
-	if err := binary.Read(br, binary.LittleEndian, &c.SampleRate); err != nil {
-		return nil, fmt.Errorf("iq: reading sample rate: %w", err)
-	}
-	if err := binary.Read(br, binary.LittleEndian, &c.Start); err != nil {
-		return nil, fmt.Errorf("iq: reading start: %w", err)
-	}
-	var count uint64
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("iq: reading count: %w", err)
-	}
-	if count == 0 || count > maxReasonableSamples {
-		return nil, fmt.Errorf("iq: implausible sample count %d", count)
-	}
-	c.Samples = make([]complex128, count)
-	buf := pool.Bytes(16 * ioChunkSamples)
-	defer pool.PutBytes(buf)
-	for lo := 0; lo < len(c.Samples); lo += ioChunkSamples {
-		hi := lo + ioChunkSamples
-		if hi > len(c.Samples) {
-			hi = len(c.Samples)
-		}
-		b := buf[:16*(hi-lo)]
-		if _, err := io.ReadFull(br, b); err != nil {
-			return nil, fmt.Errorf("iq: reading samples %d..%d: %w", lo, hi, err)
-		}
-		for i := range c.Samples[lo:hi] {
-			re := math.Float64frombits(binary.LittleEndian.Uint64(b[16*i:]))
-			im := math.Float64frombits(binary.LittleEndian.Uint64(b[16*i+8:]))
-			c.Samples[lo+i] = complex(re, im)
-		}
+	if _, err := br.Read(c.Samples); err != nil {
+		return nil, err
 	}
 	if err := c.Validate(); err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package iq
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -112,5 +113,66 @@ func TestWriteToRejectsInvalid(t *testing.T) {
 	c := &Capture{} // empty
 	if _, err := c.WriteTo(&strings.Builder{}); err == nil {
 		t.Fatal("invalid capture serialized")
+	}
+}
+
+func TestBlockReaderMatchesReadCapture(t *testing.T) {
+	c := &Capture{SampleRate: 25e6, Start: 0.25, Samples: make([]complex128, 10000)}
+	for i := range c.Samples {
+		c.Samples[i] = complex(float64(i), -float64(i)/3)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBlockReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+	if br.SampleRate() != c.SampleRate || br.Start() != c.Start || br.Len() != int64(len(c.Samples)) {
+		t.Fatalf("header mismatch: rate=%v start=%v len=%d", br.SampleRate(), br.Start(), br.Len())
+	}
+	// Read in awkward block sizes straddling the internal chunking.
+	var got []complex128
+	block := make([]complex128, 777)
+	for {
+		n, err := br.Read(block)
+		got = append(got, block[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if br.Remaining() != 0 {
+		t.Fatalf("remaining %d after EOF", br.Remaining())
+	}
+	if len(got) != len(c.Samples) {
+		t.Fatalf("read %d samples, want %d", len(got), len(c.Samples))
+	}
+	for i := range got {
+		if got[i] != c.Samples[i] {
+			t.Fatalf("sample %d: %v != %v", i, got[i], c.Samples[i])
+		}
+	}
+}
+
+func TestBlockReaderTruncatedPayload(t *testing.T) {
+	c := &Capture{SampleRate: 1, Samples: make([]complex128, 64)}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-24] // drop 1.5 samples
+	br, err := NewBlockReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+	dst := make([]complex128, 64)
+	if _, err := br.Read(dst); err == nil {
+		t.Fatal("truncated payload read without error")
 	}
 }

@@ -60,6 +60,27 @@ type Epoch struct {
 	Config    EpochConfig
 }
 
+// Blocks replays the epoch's capture through push in blockSize-sample
+// blocks, in order — the adapter between a synthesized epoch and a
+// streaming decode, mirroring how an SDR front end would hand the
+// decoder its DMA buffers. It stops at the first push error.
+func (e *Epoch) Blocks(blockSize int, push func([]complex128) error) error {
+	if blockSize <= 0 {
+		return fmt.Errorf("reader: non-positive block size %d", blockSize)
+	}
+	samples := e.Capture.Samples
+	for lo := 0; lo < len(samples); lo += blockSize {
+		hi := lo + blockSize
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		if err := push(samples[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Synthesize renders the received baseband for one epoch:
 //
 //	S(t) = Env + Σⱼ hⱼ·sⱼ(t) + n(t)

@@ -660,26 +660,34 @@ func eOccupied(edges []edgedetect.Edge, pos, tol float64, gens []complex128, tar
 // (with) and once with a[target] = 0 (without).
 func latticeFit(d complex128, gens []complex128, target int) (with, without float64) {
 	with, without = math.Inf(1), math.Inf(1)
-	a := make([]int, len(gens))
-	var rec func(i int, partial complex128)
-	rec = func(i int, partial complex128) {
-		if i == len(gens) {
-			dist := dsp.Dist(d, partial)
-			if a[target] == 0 {
-				if dist < without {
-					without = dist
-				}
-			} else if dist < with {
-				with = dist
+	// Iterative enumeration of {−1,0,1}^n as base-3 counters — this is
+	// an anchor-scan hot path, so no per-call slice or closure. The
+	// partial sum accumulates in index order (zero terms included) to
+	// keep the float op order of the recursive formulation.
+	total := 1
+	for range gens {
+		total *= 3
+	}
+	for mask := 0; mask < total; mask++ {
+		var partial complex128
+		ct := 0
+		for i, m := 0, mask; i < len(gens); i++ {
+			c := m%3 - 1
+			m /= 3
+			if i == target {
+				ct = c
 			}
-			return
+			partial += complex(float64(c), 0) * gens[i]
 		}
-		for c := -1; c <= 1; c++ {
-			a[i] = c
-			rec(i+1, partial+complex(float64(c), 0)*gens[i])
+		dist := dsp.Dist(d, partial)
+		if ct == 0 {
+			if dist < without {
+				without = dist
+			}
+		} else if dist < with {
+			with = dist
 		}
 	}
-	rec(0, 0)
 	return with, without
 }
 

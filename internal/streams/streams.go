@@ -528,67 +528,181 @@ type SlotObs struct {
 	Obs complex128
 }
 
-// Walk visits numSlots payload bit slots of the stream, tracking clock
-// drift: whenever an edge locks cleanly to a slot the walker
-// resynchronizes its phase and nudges its period estimate. Slots
-// without an edge get a soft differential measurement at the predicted
-// position.
-func Walk(st *Stream, det *edgedetect.Detector, cfg Config, numSlots int) []SlotObs {
-	obs := make([]SlotObs, 0, numSlots)
-	period := st.Period
-	// Slot 0 is the anchor (first preamble edge); the decoder aligns
-	// the payload downstream using the delimiter bit.
-	pos := st.Offset
-	slotsSinceLock := 1
-	vecTol := cfg.VecTol * dsp.Abs(st.E)
+// EdgeSource is what the slot walker needs from an edge detector: the
+// position-ordered edge list found so far and soft IQ differential
+// measurements at arbitrary positions. Both the batch Detector and the
+// incremental detector stream satisfy it; for a stream, Edges() grows
+// between walker steps (append-only, never reordered) and MeasureAt is
+// valid for any position the caller has confirmed is inside the
+// retained sample window.
+type EdgeSource interface {
+	Edges() []edgedetect.Edge
+	MeasureAt(pos int64) complex128
+}
+
+// pickEdgeSpan is the slack pickEdge adds below its search window so
+// coalesced edge groups spanning several samples still match by their
+// [First, Last] interval.
+const pickEdgeSpan = 16
+
+// Walker visits a registered stream's bit slots one Step at a time,
+// tracking clock drift exactly like the batch walk: whenever an edge
+// locks cleanly to a slot it resynchronizes its phase and nudges its
+// period estimate; slots without an edge get a soft differential
+// measurement at the predicted position. The incremental decoder calls
+// Step only once Horizon() falls inside the detector's finalized-edge
+// prefix, which makes the walk independent of how the capture was
+// blocked.
+type Walker struct {
+	st        *Stream
+	cfg       Config
+	numSlots  int
+	obs       []SlotObs
+	period    float64
+	pos       float64
+	sinceLock int
+	vecTol    float64
 	// Long-baseline period estimation: individual edge positions carry
 	// a couple samples of localization noise, so the per-lock
 	// innovation is only partially trusted (DriftGain), while the
 	// slope from the first clean lock to the current one — whose noise
 	// shrinks as 1/baseline — takes over once the baseline is long
 	// enough to beat the registration fit.
-	firstSlot := -1
-	var firstPos float64
-	for k := 0; k < numSlots; k++ {
-		tol := float64(cfg.PosTol) + period*float64(slotsSinceLock)*cfg.DriftPPM/1e6
-		idx, clean := pickEdge(det, int64(math.Round(pos)), int64(math.Ceil(tol)), st.E, vecTol)
-		o := SlotObs{Slot: k, EdgeIdx: idx}
-		if idx >= 0 {
-			edge := det.Edges()[idx]
-			o.Pos = edge.Pos
-			o.Obs = edge.Diff
-			if clean {
-				o.Kind = MatchClean
-				// Resync phase and track period on clean locks only;
-				// foreign edges would pull the tracker off frequency.
-				err := float64(edge.Pos) - pos
-				if firstSlot < 0 {
-					firstSlot, firstPos = k, float64(edge.Pos)
-					period += cfg.DriftGain * err / float64(slotsSinceLock)
-				} else if k-firstSlot >= 8 {
-					period = (float64(edge.Pos) - firstPos) / float64(k-firstSlot)
-				} else {
-					period += cfg.DriftGain * err / float64(slotsSinceLock)
-				}
-				// Partial phase correction: the edge position itself
-				// is noisy, so blend it with the prediction.
-				pos = pos + 0.6*err + period
-				slotsSinceLock = 1
-			} else {
-				o.Kind = MatchForeign
-				pos += period
-				slotsSinceLock++
-			}
-		} else {
-			o.Kind = MatchNone
-			o.Pos = int64(math.Round(pos))
-			o.Obs = det.MeasureAt(o.Pos)
-			pos += period
-			slotsSinceLock++
-		}
-		obs = append(obs, o)
+	firstSlot int
+	firstPos  float64
+	k         int
+}
+
+// NewWalker starts a slot walk at the stream's anchor. Slot 0 is the
+// first preamble edge; the decoder aligns the payload downstream using
+// the delimiter bit.
+func NewWalker(st *Stream, cfg Config, numSlots int) *Walker {
+	return &Walker{
+		st:        st,
+		cfg:       cfg,
+		numSlots:  numSlots,
+		obs:       make([]SlotObs, 0, numSlots),
+		period:    st.Period,
+		pos:       st.Offset,
+		sinceLock: 1,
+		vecTol:    cfg.VecTol * dsp.Abs(st.E),
+		firstSlot: -1,
 	}
-	return obs
+}
+
+// Done reports whether every slot has been visited.
+func (w *Walker) Done() bool { return w.k >= w.numSlots }
+
+// Obs returns the observations collected so far (all of them once Done).
+func (w *Walker) Obs() []SlotObs { return w.obs }
+
+// tol is the current slot's position tolerance: the drift allowance
+// grows with the number of slots since the last clean lock.
+func (w *Walker) tol() float64 {
+	return float64(w.cfg.PosTol) + w.period*float64(w.sinceLock)*w.cfg.DriftPPM/1e6
+}
+
+// Horizon returns the highest sample position the next Step may read an
+// edge at. Once the detector's finalized-edge front passes this (and
+// the sample window covers it), Step's outcome can no longer change.
+func (w *Walker) Horizon() int64 {
+	if w.Done() {
+		return int64(math.Round(w.pos))
+	}
+	return int64(math.Round(w.pos)) + int64(math.Ceil(w.tol())) + pickEdgeSpan + 1
+}
+
+// MeasurePos returns the lowest sample position the walker may still
+// need to measure, used by the incremental decoder to bound how far the
+// detector's sample window can be trimmed.
+func (w *Walker) MeasurePos() int64 { return int64(math.Round(w.pos)) }
+
+// LowWater returns a sample position no future step of this walker can
+// read below. The predicted position only ever moves forward (a resync
+// shifts it by 0.6·err + period with |err| ≤ tol < period), so the
+// current prediction minus the tolerance window — less one period of
+// slack for the long-baseline refit — floors every future edge pick
+// and soft measurement.
+func (w *Walker) LowWater() int64 {
+	return int64(w.pos-w.tol()-w.period) - pickEdgeSpan
+}
+
+// Step visits one slot.
+func (w *Walker) Step(src EdgeSource) {
+	if w.Done() {
+		return
+	}
+	tol := w.tol()
+	edges := src.Edges()
+	idx, clean := pickEdge(edges, int64(math.Round(w.pos)), int64(math.Ceil(tol)), w.st.E, w.vecTol)
+	o := SlotObs{Slot: w.k, EdgeIdx: idx}
+	if idx >= 0 {
+		edge := edges[idx]
+		o.Pos = edge.Pos
+		o.Obs = edge.Diff
+		if clean {
+			o.Kind = MatchClean
+			// Resync phase and track period on clean locks only;
+			// foreign edges would pull the tracker off frequency.
+			err := float64(edge.Pos) - w.pos
+			if w.firstSlot < 0 {
+				w.firstSlot, w.firstPos = w.k, float64(edge.Pos)
+				w.period += w.cfg.DriftGain * err / float64(w.sinceLock)
+			} else if w.k-w.firstSlot >= 8 {
+				w.period = (float64(edge.Pos) - w.firstPos) / float64(w.k-w.firstSlot)
+			} else {
+				w.period += w.cfg.DriftGain * err / float64(w.sinceLock)
+			}
+			// Partial phase correction: the edge position itself
+			// is noisy, so blend it with the prediction.
+			w.pos = w.pos + 0.6*err + w.period
+			w.sinceLock = 1
+		} else {
+			o.Kind = MatchForeign
+			w.pos += w.period
+			w.sinceLock++
+		}
+	} else {
+		o.Kind = MatchNone
+		o.Pos = int64(math.Round(w.pos))
+		o.Obs = src.MeasureAt(o.Pos)
+		w.pos += w.period
+		w.sinceLock++
+	}
+	w.obs = append(w.obs, o)
+	w.k++
+}
+
+// Walk visits numSlots payload bit slots of the stream in one go — the
+// batch form of the Walker, used when every edge is already final.
+func Walk(st *Stream, src EdgeSource, cfg Config, numSlots int) []SlotObs {
+	w := NewWalker(st, cfg, numSlots)
+	for !w.Done() {
+		w.Step(src)
+	}
+	return w.Obs()
+}
+
+// RegistrationHorizon returns the sample position by which every edge
+// that stream registration can read — or consume — is known: the
+// preamble matcher looks no further than MaxStart plus a preamble, the
+// eye fold stops at its per-rate folding window, and accepting a stream
+// consumes payload-grid edges across its whole frame (which can mask
+// edges from a slower rate's fold). Once the detector's finalized-edge
+// front passes this horizon, Register over the finalized prefix equals
+// Register over the eventual full edge list, so the incremental decoder
+// can register streams before end of capture.
+func RegistrationHorizon(cfg Config, payloadBits func(rate float64) int) int64 {
+	horizon := 0.0
+	for _, rate := range cfg.Rates {
+		period := cfg.SampleRate / rate
+		slots := float64(FrameSlots(cfg, payloadBits(rate)) + 2)
+		extent := float64(cfg.MaxStart) + slots*period*(1+cfg.DriftPPM/1e6)
+		if extent > horizon {
+			horizon = extent
+		}
+	}
+	return int64(horizon) + cfg.PosTol + pickEdgeSpan + 64
 }
 
 // pickEdge chooses an edge for a slot window: the closest edge whose
@@ -596,12 +710,10 @@ func Walk(st *Stream, det *edgedetect.Detector, cfg Config, numSlots int) []Slot
 // closest edge of any vector (foreign). Preferring the vector match
 // keeps a stream locked to its own edges when another tag's edge has
 // drifted into the window.
-func pickEdge(det *edgedetect.Detector, pos, maxDist int64, e complex128, vecTol float64) (idx int, clean bool) {
-	edges := det.Edges()
+func pickEdge(edges []edgedetect.Edge, pos, maxDist int64, e complex128, vecTol float64) (idx int, clean bool) {
 	// Coalesced groups can span several samples; match against the
 	// group interval [First, Last], not just the centre.
-	const maxSpan = 16
-	lo := sort.Search(len(edges), func(i int) bool { return edges[i].Pos >= pos-maxDist-maxSpan })
+	lo := sort.Search(len(edges), func(i int) bool { return edges[i].Pos >= pos-maxDist-pickEdgeSpan })
 	bestClean, bestCleanDist := -1, maxDist+1
 	bestAny, bestAnyDist := -1, maxDist+1
 	for i := lo; i < len(edges) && edges[i].First <= pos+maxDist; i++ {

@@ -77,8 +77,13 @@ func Do(workers, n int, fn func(i int)) {
 
 // MinChunk is the smallest per-range work size DoRanges hands a worker.
 // Splitting finer than this spends more on scheduling than the chunk's
-// own arithmetic (a chunk of 4096 differential evaluations is ~100 µs).
-const MinChunk = 4096
+// own arithmetic: a chunk of 16384 differential evaluations is a few
+// hundred µs, comfortably above goroutine handoff cost, so fanning out
+// is never slower than the serial path at any worker count. It also
+// keeps the streaming detector's small per-push extensions (typically
+// one SDR DMA buffer, ≤16 Ki samples) on the inline path with no
+// scheduler round-trip at all.
+const MinChunk = 16384
 
 // Bounds returns the deterministic chunk boundaries DoRanges uses for a
 // length-n series at the given worker count: at most `workers` equal

@@ -324,6 +324,27 @@ type DecoderConfig struct {
 	// 1 = serial). Decodes are bit-identical at any setting; the knob
 	// only trades wall-clock for cores.
 	Parallelism int
+	// CalibSamples bounds the edge detector's noise calibration to the
+	// capture's first CalibSamples positions. Setting it is what lets a
+	// streaming decode start emitting frames — and bound its memory —
+	// before end of capture; 0 calibrates over the whole capture at
+	// flush time (the batch semantics). Batch Decode honours the same
+	// knob, so batch and streaming decodes stay bit-identical.
+	CalibSamples int64
+	// ViterbiWindow bounds the sequence decoder's survivor-path state
+	// (sliding trellis window with truncation). 0 selects the default
+	// window; see the viterbi package for the exactness contract.
+	ViterbiWindow int
+	// CancellationRounds overrides successive interference cancellation:
+	// 0 keeps the default (3 rounds), negative disables. SIC needs the
+	// whole raw capture, so streaming decodes retain O(capture) memory
+	// unless it is disabled.
+	CancellationRounds int
+	// OnFrame, when non-nil, is called once per decoded stream as soon
+	// as its frame commits — on streaming decodes this is typically long
+	// before end of capture. Frames arrive in Result.Streams order, on
+	// the goroutine calling Push/Flush/Decode.
+	OnFrame func(*StreamResult)
 }
 
 // Stage toggles and separation modes re-exported for callers.
@@ -357,6 +378,9 @@ type Decoder struct {
 // Result is a decoded epoch.
 type Result = decoder.Result
 
+// StreamResult is the decode of one registered stream.
+type StreamResult = decoder.StreamResult
+
 // NewDecoder builds a decoder.
 func NewDecoder(cfg DecoderConfig) (*Decoder, error) {
 	if cfg.SampleRate <= 0 {
@@ -374,11 +398,52 @@ func NewDecoder(cfg DecoderConfig) (*Decoder, error) {
 	dc.Separation = cfg.Separation
 	dc.Streams.Registration = cfg.Registration
 	dc.Parallelism = cfg.Parallelism
+	dc.CalibSamples = cfg.CalibSamples
+	dc.ViterbiWindow = cfg.ViterbiWindow
+	dc.OnFrame = cfg.OnFrame
+	if cfg.CancellationRounds != 0 {
+		dc.CancellationRounds = cfg.CancellationRounds
+		if dc.CancellationRounds < 0 {
+			dc.CancellationRounds = 0
+		}
+	}
 	if cfg.Seed != 0 {
 		dc.Seed = cfg.Seed
 	}
 	return &Decoder{cfg: dc}, nil
 }
+
+// StreamDecoder decodes a capture pushed in arbitrary sample blocks,
+// with memory bounded by the decoder's detection window instead of the
+// capture length (set DecoderConfig.CalibSamples and disable
+// cancellation to get the bound). The result returned by Flush is
+// bit-identical to Decode over the same samples at any blocking.
+type StreamDecoder struct {
+	sd *decoder.StreamDecoder
+}
+
+// NewStream starts a streaming decode of one capture. Push sample
+// blocks as they arrive, then Flush for the final result; decoded
+// frames surface through DecoderConfig.OnFrame as they commit.
+func (d *Decoder) NewStream() (*StreamDecoder, error) {
+	sd, err := decoder.NewStreamDecoder(d.cfg.Streams.SampleRate, d.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamDecoder{sd: sd}, nil
+}
+
+// Push feeds one block of IQ samples.
+func (s *StreamDecoder) Push(block []complex128) error { return s.sd.Push(block) }
+
+// Flush marks end of capture, drains the pipeline, and returns the
+// final result.
+func (s *StreamDecoder) Flush() (*Result, error) { return s.sd.Flush() }
+
+// RetainedBytes reports the sample-proportional memory the decode
+// currently holds — the observable the streaming memory bound is
+// stated (and tested) against.
+func (s *StreamDecoder) RetainedBytes() int64 { return s.sd.RetainedBytes() }
 
 // Decode runs the pipeline over one epoch's capture.
 func (d *Decoder) Decode(ep *Epoch) (*Result, error) {
