@@ -1,6 +1,8 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build vet test race race-stream bench benchjson benchguard ci clean
+.PHONY: all build vet test race race-stream bench benchjson benchguard \
+	fuzz fuzz-smoke robustness-smoke ci clean
 
 all: build
 
@@ -41,7 +43,25 @@ benchjson:
 benchguard:
 	$(GO) run ./cmd/lfbench -benchguard BENCH_streaming_decode.json
 
-ci: vet build test race race-stream benchguard
+# Native Go fuzzing of the adversarial-input surfaces: the LFIQ
+# container parser and the streaming decode pipeline. FUZZTIME bounds
+# each target's budget (default 30s; raise for a soak run).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzBlockReader -fuzztime $(FUZZTIME) ./internal/iq
+	$(GO) test -run '^$$' -fuzz FuzzReadCapture -fuzztime $(FUZZTIME) ./internal/iq
+	$(GO) test -run '^$$' -fuzz FuzzStreamPush -fuzztime $(FUZZTIME) ./internal/decoder
+
+# Short-budget fuzz pass for CI: enough executions to catch decode-path
+# panics on adversarial input without stalling the gate.
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=5s
+
+# One-epoch robustness sweep: fault injection across severities with
+# the streaming==batch degraded-identity check enforced per point.
+robustness-smoke:
+	$(GO) run ./cmd/lfbench -exp robustness -quick -epochs 1
+
+ci: vet build test race race-stream fuzz-smoke robustness-smoke benchguard
 
 clean:
 	$(GO) clean ./...

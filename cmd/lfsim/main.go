@@ -5,7 +5,13 @@
 // Usage:
 //
 //	lfsim [-tags N] [-rate bps] [-payload-ms ms] [-seed N] [-workers N]
-//	      [-stream] [-block N] [-calib N] [-record FILE] [-replay FILE] [-v]
+//	      [-stream] [-block N] [-calib N] [-record FILE] [-replay FILE]
+//	      [-fault SPEC] [-fault-seed N] [-v]
+//
+// -fault injects deterministic impairments before decoding, e.g.
+// -fault burst:0.5,dropout:0.3,nonfinite:1 — see internal/fault for
+// the kinds. The decode then demonstrates graceful degradation:
+// dropped spans and per-stream confidence are printed.
 package main
 
 import (
@@ -15,7 +21,9 @@ import (
 	"os"
 
 	"lf"
+	"lf/internal/fault"
 	"lf/internal/iq"
+	"lf/internal/reader"
 )
 
 func main() {
@@ -30,7 +38,18 @@ func main() {
 	stream := flag.Bool("stream", false, "decode through the streaming pipeline (bounded memory, frames surface mid-capture); bit-identical to batch")
 	block := flag.Int("block", 8192, "streaming block size in samples (with -stream)")
 	calib := flag.Int64("calib", 32768, "noise-calibration sample budget for -stream (0 defers decoding to end of capture)")
+	faultSpec := flag.String("fault", "", "inject faults before decoding: comma-separated kind:severity list (e.g. burst:0.5,dropout:0.3)")
+	faultSeed := flag.Int64("fault-seed", 42, "seed for the fault injectors (same seed, same spec: byte-identical impairment)")
 	flag.Parse()
+
+	var injectors []fault.Injector
+	if *faultSpec != "" {
+		var err error
+		injectors, err = fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	net, err := lf.NewNetwork(lf.NetworkConfig{
 		NumTags:        *tags,
@@ -138,15 +157,41 @@ func main() {
 		fmt.Printf("edges detected: %d (noise floor %.2e)\n", res.EdgeCount, res.NoiseFloor)
 		fmt.Printf("streams: %d\n", len(res.Streams))
 		for i, sr := range res.Streams {
-			fmt.Printf("  stream %2d: %s rate=%.0f offset=%.1f bits=%d\n",
-				i, sr.Stream.Source, sr.Stream.Rate, sr.Stream.Offset, len(sr.Bits))
+			fmt.Printf("  stream %2d: %s rate=%.0f offset=%.1f bits=%d conf=%.2f crc=%v\n",
+				i, sr.Stream.Source, sr.Stream.Rate, sr.Stream.Offset, len(sr.Bits), sr.Confidence, sr.CRCOK)
 		}
+		reportDropped(res)
 		return
 	}
 
 	ep, err := net.RunEpoch()
 	if err != nil {
 		fatal(err)
+	}
+	if len(injectors) > 0 {
+		// Tag-level impairments (clock drift, tag death) rewrite the
+		// emissions and re-synthesize; capture-level impairments corrupt
+		// the recorded samples. Both are deterministic in -fault-seed.
+		capInjs, tagInjs := fault.SplitLevels(injectors)
+		if len(tagInjs) > 0 {
+			ems, err := fault.Config{Seed: *faultSeed, Injectors: tagInjs}.ApplyEmissions(ep.Emissions)
+			if err != nil {
+				fatal(err)
+			}
+			re, err := reader.Synthesize(net.Channel(), ems, ep.Config)
+			if err != nil {
+				fatal(err)
+			}
+			ep = &lf.Epoch{Capture: re.Capture, Emissions: ems, Config: ep.Config}
+		}
+		if len(capInjs) > 0 {
+			capture, err := fault.Config{Seed: *faultSeed, Injectors: capInjs}.ApplyCapture(ep.Capture)
+			if err != nil {
+				fatal(err)
+			}
+			ep = &lf.Epoch{Capture: capture, Emissions: ep.Emissions, Config: ep.Config}
+		}
+		fmt.Printf("fault: injected %s (seed %d)\n", *faultSpec, *faultSeed)
 	}
 	if *record != "" {
 		f, err := os.Create(*record)
@@ -190,10 +235,12 @@ func main() {
 		len(res.Streams), res.MergedSplits, res.RecoveredStreams, res.Collisions2, res.Collisions3)
 	if *verbose {
 		for i, sr := range res.Streams {
-			fmt.Printf("  stream %2d: %s rate=%.0f offset=%.1f period=%.4f collided=%d\n",
-				i, sr.Stream.Source, sr.Stream.Rate, sr.Stream.Offset, sr.Stream.Period, sr.CollidedSlots)
+			fmt.Printf("  stream %2d: %s rate=%.0f offset=%.1f period=%.4f collided=%d conf=%.2f crc=%v\n",
+				i, sr.Stream.Source, sr.Stream.Rate, sr.Stream.Offset, sr.Stream.Period, sr.CollidedSlots,
+				sr.Confidence, sr.CRCOK)
 		}
 	}
+	reportDropped(res)
 	for _, ts := range score.PerTag {
 		status := "lost"
 		if ts.Registered {
@@ -203,6 +250,26 @@ func main() {
 	}
 	fmt.Printf("aggregate goodput: %.1f kbps of %.1f kbps offered (BER %.4f)\n",
 		score.AggregateBps/1e3, lf.OfferedBps(ep)/1e3, score.BER())
+}
+
+// reportDropped prints the decoder's graceful-degradation bookkeeping:
+// where the decode gave up and why, per affected span or stream.
+func reportDropped(res *lf.Result) {
+	if len(res.Dropped) == 0 {
+		return
+	}
+	fmt.Printf("dropped: %d\n", len(res.Dropped))
+	for _, d := range res.Dropped {
+		who := "capture"
+		if d.Stream >= 0 {
+			who = fmt.Sprintf("stream %d", d.Stream)
+		}
+		span := ""
+		if d.Lo >= 0 {
+			span = fmt.Sprintf(" samples [%d, %d)", d.Lo, d.Hi)
+		}
+		fmt.Printf("  %s: %s%s — %s\n", who, d.Reason, span, d.Detail)
+	}
 }
 
 func fatal(err error) {

@@ -3,6 +3,12 @@
 // with fresh random offsets, so collision patterns re-randomize — and
 // the reader broadcasts a rate-reduction command when an epoch shows
 // heavy collision activity. The tags stay dumb; the reader steers.
+//
+// Acceptance is not CRC-only: the session also consumes the decoder's
+// per-frame confidence (Viterbi path margin × slot quality), rejecting
+// frames below Config.MinConfidence so a lucky CRC on a near-random
+// bit string cannot deliver garbage. The per-epoch mean confidence is
+// the reader's early-warning signal for a degrading link.
 package main
 
 import (
@@ -31,8 +37,8 @@ func main() {
 		log.Fatal(err)
 	}
 	for i, es := range res.Epochs {
-		fmt.Printf("epoch %d: %2d/%d delivered, collision rate %.2f, max rate %.0f kbps\n",
-			i+1, es.Delivered, numTags, es.CollisionRate, es.MaxRate/1e3)
+		fmt.Printf("epoch %d: %2d/%d delivered, collision rate %.2f, max rate %.0f kbps, mean confidence %.2f (%d low-confidence rejects)\n",
+			i+1, es.Delivered, numTags, es.CollisionRate, es.MaxRate/1e3, es.MeanConfidence, es.LowConfidence)
 	}
 	fmt.Printf("complete=%v in %.2f ms airtime (%d slow-down broadcasts)\n",
 		res.Complete, res.Seconds*1e3, res.RateReductions)

@@ -138,9 +138,12 @@ func (m *Model) Noise() complex128 {
 
 // Combine evaluates the received baseband sample for the given per-tag
 // antenna states (states[j] ∈ {0,1}) including environment and noise.
-func (m *Model) Combine(states []byte) complex128 {
+// A state count that does not match the coefficient set is a caller
+// bug, reported as an error rather than a panic so simulation drivers
+// can degrade gracefully.
+func (m *Model) Combine(states []byte) (complex128, error) {
 	if len(states) != len(m.Coeffs) {
-		panic(fmt.Sprintf("channel: %d states for %d coefficients", len(states), len(m.Coeffs)))
+		return 0, fmt.Errorf("channel: %d states for %d coefficients", len(states), len(m.Coeffs))
 	}
 	s := m.Params.EnvReflection
 	for j, st := range states {
@@ -148,7 +151,7 @@ func (m *Model) Combine(states []byte) complex128 {
 			s += m.Coeffs[j]
 		}
 	}
-	return s + m.Noise()
+	return s + m.Noise(), nil
 }
 
 // MinPairSeparation returns the smallest |hᵢ ± hⱼ| distance over all

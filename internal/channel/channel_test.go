@@ -60,21 +60,21 @@ func TestCombineLinearity(t *testing.T) {
 	p.NoiseSigma2 = 0
 	coeffs := []complex128{1 + 2i, 3 - 1i, -2 + 0.5i}
 	m := NewModelFromCoeffs(p, coeffs, nil)
-	got := m.Combine([]byte{1, 0, 1})
+	got, err := m.Combine([]byte{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := p.EnvReflection + coeffs[0] + coeffs[2]
 	if cmplx.Abs(got-want) > 1e-12 {
 		t.Fatalf("Combine = %v, want %v", got, want)
 	}
 }
 
-func TestCombinePanicsOnMismatch(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Combine with wrong state count should panic")
-		}
-	}()
+func TestCombineMismatchError(t *testing.T) {
 	m := NewModelFromCoeffs(DefaultParams(), []complex128{1}, nil)
-	m.Combine([]byte{1, 0})
+	if _, err := m.Combine([]byte{1, 0}); err == nil {
+		t.Fatal("Combine with wrong state count should return an error")
+	}
 }
 
 func TestNoiseZeroWhenDisabled(t *testing.T) {

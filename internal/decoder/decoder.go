@@ -9,11 +9,13 @@ package decoder
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"math/cmplx"
 	"slices"
 
 	"lf/internal/collide"
 	"lf/internal/edgedetect"
+	"lf/internal/epc"
 	"lf/internal/iq"
 	"lf/internal/rng"
 	"lf/internal/streams"
@@ -100,6 +102,11 @@ type Config struct {
 	// Callbacks run on the pushing goroutine; the *StreamResult is the
 	// same object later returned in the Result.
 	OnFrame func(*StreamResult)
+
+	// testStreamHook, when non-nil, runs against each stream result
+	// just before sequence decoding — the seam the quarantine tests use
+	// to poison a single stream's decode.
+	testStreamHook func(*StreamResult)
 }
 
 // DefaultConfig assembles a full-pipeline decoder for captures at the
@@ -140,6 +147,19 @@ type StreamResult struct {
 	// Recovered reports that the stream was found on a cancellation
 	// residual rather than in the first pass.
 	Recovered bool
+	// PathMargin is the Viterbi survivor-score margin (best minus
+	// runner-up end-state log-likelihood, normalised per slot). 0 when
+	// error correction is off.
+	PathMargin float64
+	// CRCOK reports whether Bits ends in a valid EPC CRC-16 — only
+	// meaningful when the tag appends one (see epc.CRC16Bits).
+	CRCOK bool
+	// Confidence scores the frame in [0, 1]: the fraction of cleanly
+	// locked edge slots, attenuated by how decisively the Viterbi
+	// trellis preferred this sequence. CRC-less deployments can gate on
+	// it instead of a checksum; CRC-framed ones (internal/reliable) use
+	// it to rank retransmission candidates.
+	Confidence float64
 }
 
 // Result is a full-capture decode.
@@ -159,6 +179,11 @@ type Result struct {
 	MergedSplits int
 	// RecoveredStreams counts streams found on cancellation residuals.
 	RecoveredStreams int
+	// Dropped records graceful-degradation events — non-finite sample
+	// spans, quarantined streams, truncated frames — in deterministic
+	// order (capture-level spans first, then per-stream drops by stream
+	// ID). Empty on a clean decode.
+	Dropped []Dropped
 }
 
 // Decode runs the pipeline over one epoch's capture. It is a thin
@@ -175,10 +200,17 @@ type Result struct {
 // fully serial Parallelism=1 path.
 func Decode(capture *iq.Capture, cfg Config) (*Result, error) {
 	if cfg.PayloadBits == nil {
-		return nil, fmt.Errorf("decoder: PayloadBits is required")
+		return nil, errAt(StageInput, -1, fmt.Errorf("decoder: PayloadBits is required"))
 	}
-	if err := capture.Validate(); err != nil {
-		return nil, err
+	// Deliberately lighter than capture.Validate: non-finite samples
+	// are degraded per-window by the edge detector (recorded in
+	// Result.Dropped), identically on the batch and streaming paths,
+	// instead of rejecting the capture outright.
+	if capture.SampleRate <= 0 {
+		return nil, errAt(StageInput, -1, fmt.Errorf("decoder: non-positive sample rate %v", capture.SampleRate))
+	}
+	if len(capture.Samples) == 0 {
+		return nil, errAt(StageInput, -1, fmt.Errorf("decoder: capture has no samples"))
 	}
 	sd, err := NewStreamDecoder(capture.SampleRate, cfg)
 	if err != nil {
@@ -218,13 +250,27 @@ func decodeStates(sr *StreamResult, cfg Config, sigma2 float64) {
 		// before the frame, so the implicit previous edge is a
 		// falling one. The windowed recursion bounds survivor-path
 		// state at cfg.ViterbiWindow (0 = viterbi.DefaultWindow).
-		sr.States = viterbi.NewDecoder(0.5, viterbi.Down).DecodeWindowed(emissions, cfg.ViterbiWindow)
+		var margin float64
+		sr.States, margin = viterbi.NewDecoder(0.5, viterbi.Down).
+			DecodeWindowedMargin(emissions, cfg.ViterbiWindow)
+		if n := len(emissions); n > 0 {
+			margin /= float64(n)
+		}
+		if margin > 1e9 || math.IsInf(margin, 1) {
+			margin = 1e9 // single live survivor path
+		}
+		sr.PathMargin = margin
 	default:
 		sr.States = viterbi.HardDecode(emissions)
 	}
 	frameBits := viterbi.Bits(sr.States)
 	sr.PayloadStart = alignPayload(frameBits, cfg.Streams.PreambleLen)
 	sr.Bits = clampSlice(frameBits, sr.PayloadStart, cfg.PayloadBits(sr.Stream.Rate))
+	sr.CRCOK = len(sr.Bits) > 16 && epc.CheckCRC16(sr.Bits)
+	sr.Confidence = quality(sr)
+	if cfg.Stages.ErrorCorrection {
+		sr.Confidence *= 1 - math.Exp(-sr.PathMargin)
+	}
 }
 
 // alignSlack is the number of extra slots walked past the nominal

@@ -1,0 +1,88 @@
+package decoder
+
+import "fmt"
+
+// Stage names the pipeline stage a decode error or degradation
+// originated in.
+type Stage string
+
+const (
+	// StageInput covers capture-level validation (rates, emptiness).
+	StageInput Stage = "input"
+	// StageEdgeDetect covers incremental edge detection.
+	StageEdgeDetect Stage = "edgedetect"
+	// StageRegister covers preamble/eye stream registration.
+	StageRegister Stage = "register"
+	// StageWalk covers drift-tracked slot walking.
+	StageWalk Stage = "walk"
+	// StageCommit covers the frame-commit stage: merged-pair splitting,
+	// collision resolution, sequence decoding.
+	StageCommit Stage = "commit"
+	// StageCancel covers successive interference cancellation.
+	StageCancel Stage = "cancel"
+)
+
+// DecodeError is the typed error every decode-path failure surfaces
+// as: the stage that failed and, when known, the absolute sample
+// position the failure is anchored at.
+type DecodeError struct {
+	// Stage is the pipeline stage that raised the error.
+	Stage Stage
+	// Pos is the sample position the error is anchored at, or -1 when
+	// the failure is not positional.
+	Pos int64
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *DecodeError) Error() string {
+	if e.Pos >= 0 {
+		return fmt.Sprintf("decode[%s@%d]: %v", e.Stage, e.Pos, e.Err)
+	}
+	return fmt.Sprintf("decode[%s]: %v", e.Stage, e.Err)
+}
+
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// errAt wraps err as a DecodeError unless it already is one.
+func errAt(stage Stage, pos int64, err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := err.(*DecodeError); ok {
+		return err
+	}
+	return &DecodeError{Stage: stage, Pos: pos, Err: err}
+}
+
+// DropReason classifies a graceful-degradation event recorded in
+// Result.Dropped.
+type DropReason string
+
+const (
+	// DropNonFinite: NaN/Inf (or overflow-scale) samples were replaced
+	// and the detection windows touching them blanked.
+	DropNonFinite DropReason = "non-finite-input"
+	// DropPanic: a per-stream stage panicked; the stream was
+	// quarantined and removed from Result.Streams.
+	DropPanic DropReason = "stream-panic"
+	// DropTruncated: the capture ended before the stream's nominal
+	// frame; the frame is best-effort up to the cut.
+	DropTruncated DropReason = "truncated-capture"
+)
+
+// Dropped records one graceful-degradation event: instead of failing
+// the whole decode, the pipeline dropped a sample span or quarantined
+// a stream and carried on.
+type Dropped struct {
+	// Stream is the registered stream ID the drop refers to, or -1 for
+	// capture-level drops (non-finite spans, cancellation failures).
+	Stream int
+	// Reason classifies the drop.
+	Reason DropReason
+	// Lo and Hi bound the affected sample span, when positional;
+	// Lo == Hi == -1 otherwise.
+	Lo, Hi int64
+	// Detail elaborates (panic message, stage name).
+	Detail string
+}

@@ -1,0 +1,91 @@
+package decoder
+
+import (
+	"reflect"
+	"testing"
+
+	"lf/internal/reader"
+)
+
+// TestQuarantinePoisonedStream pins the isolation guarantee of the
+// panic quarantine: when one stream's per-stream decode stage panics,
+// that stream is dropped with a DropPanic entry while every other
+// stream's result is byte-identical to the unpoisoned decode. The
+// poison is injected through the test hook that runs exactly where
+// decodeStates does — after registration, walking, and collision
+// resolution, so no cross-stream stage sees different inputs.
+func TestQuarantinePoisonedStream(t *testing.T) {
+	ep := buildEpoch(t, 11, 300,
+		defaultTag(100e3), defaultTag(100e3), defaultTag(100e3))
+	cfg := DefaultConfig(25e6, []float64{100e3}, 300)
+
+	clean := decodeEpoch(t, ep, cfg)
+	if len(clean.Streams) < 2 {
+		t.Fatalf("need at least 2 streams to show isolation, got %d", len(clean.Streams))
+	}
+	victim := clean.Streams[0].Stream.ID
+
+	cfg.testStreamHook = func(sr *StreamResult) {
+		if sr.Stream.ID == victim {
+			panic("poisoned stream")
+		}
+	}
+	poisoned := decodeEpoch(t, ep, cfg)
+
+	if len(poisoned.Dropped) == 0 {
+		t.Fatal("poisoned decode reported no Dropped entries")
+	}
+	found := false
+	for _, d := range poisoned.Dropped {
+		if d.Reason == DropPanic && d.Stream == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no DropPanic entry for stream %d in %+v", victim, poisoned.Dropped)
+	}
+
+	// The surviving streams must match the clean decode exactly: the
+	// quarantine may not perturb anything outside the poisoned stream.
+	var survivors []*StreamResult
+	for _, sr := range clean.Streams {
+		if sr.Stream.ID != victim {
+			survivors = append(survivors, sr)
+		}
+	}
+	if len(poisoned.Streams) != len(survivors) {
+		t.Fatalf("poisoned decode has %d streams, want %d survivors", len(poisoned.Streams), len(survivors))
+	}
+	for i, sr := range poisoned.Streams {
+		if !reflect.DeepEqual(sr, survivors[i]) {
+			t.Fatalf("survivor stream %d diverged from unpoisoned decode:\nclean:    %+v\npoisoned: %+v", i, survivors[i], sr)
+		}
+	}
+}
+
+// TestQuarantineAllStreamsPoisoned is the degenerate case: every
+// stream panics, the decode still completes with an empty stream list
+// and one Dropped entry per casualty — never an error, never a crash.
+func TestQuarantineAllStreamsPoisoned(t *testing.T) {
+	ep := buildEpoch(t, 12, 300, defaultTag(100e3), defaultTag(100e3))
+	cfg := DefaultConfig(25e6, []float64{100e3}, 300)
+	clean := decodeEpoch(t, ep, cfg)
+
+	cfg.testStreamHook = func(*StreamResult) { panic("total poisoning") }
+	poisoned := decodeEpoch(t, ep, cfg)
+	if len(poisoned.Streams) != 0 {
+		t.Fatalf("fully poisoned decode still produced %d streams", len(poisoned.Streams))
+	}
+	if len(poisoned.Dropped) < len(clean.Streams) {
+		t.Fatalf("expected ≥%d Dropped entries, got %+v", len(clean.Streams), poisoned.Dropped)
+	}
+}
+
+func decodeEpoch(t *testing.T, ep *reader.Epoch, cfg Config) *Result {
+	t.Helper()
+	res, err := Decode(ep.Capture, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}

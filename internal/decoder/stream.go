@@ -47,6 +47,13 @@ type StreamDecoder struct {
 	committed  bool
 	emitted    int
 
+	// Per-stream quarantine: quarantined[i] holds the panic message of
+	// walker i's failed stage ("" = healthy). A quarantined stream is
+	// removed from Result.Streams and recorded in Result.Dropped; the
+	// rest of the epoch decodes normally.
+	quarantined []string
+	drops       []Dropped // stream-level degradation events, commit order
+
 	retain    []complex128 // raw capture, kept only for SIC
 	retainExt bool         // retain aliases caller-owned samples (batch path)
 
@@ -60,7 +67,7 @@ type StreamDecoder struct {
 // (it is only consulted by the cancellation stage).
 func NewStreamDecoder(sampleRate float64, cfg Config) (*StreamDecoder, error) {
 	if cfg.PayloadBits == nil {
-		return nil, fmt.Errorf("decoder: PayloadBits is required")
+		return nil, errAt(StageInput, -1, fmt.Errorf("decoder: PayloadBits is required"))
 	}
 	workers := work.Resolve(cfg.Parallelism)
 	ecfg := cfg.Edge
@@ -89,7 +96,7 @@ func (sd *StreamDecoder) Push(block []complex128) error {
 		return sd.err
 	}
 	if sd.done {
-		return errors.New("decoder: push after flush")
+		return errAt(StageInput, -1, errors.New("decoder: push after flush"))
 	}
 	if sd.cfg.CancellationRounds > 0 && !sd.retainExt {
 		if sd.retain == nil {
@@ -98,8 +105,8 @@ func (sd *StreamDecoder) Push(block []complex128) error {
 		sd.retain = append(sd.retain, block...)
 	}
 	if err := sd.det.Push(block); err != nil {
-		sd.err = err
-		return err
+		sd.err = errAt(StageEdgeDetect, sd.det.Front(), err)
+		return sd.err
 	}
 	sd.pump()
 	return sd.err
@@ -116,29 +123,45 @@ func (sd *StreamDecoder) Flush() (*Result, error) {
 		return sd.res, nil
 	}
 	if err := sd.det.Close(); err != nil {
-		sd.err = err
-		return nil, err
+		sd.err = errAt(StageInput, sd.det.Front(), err)
+		return nil, sd.err
 	}
 	sd.pump()
 	if sd.err != nil {
 		return nil, sd.err
 	}
 	if sd.cfg.CancellationRounds > 0 {
-		capture := &iq.Capture{SampleRate: sd.sampleRate, Samples: sd.retain}
-		minRecoverE := 3 * sd.det.NoiseFloor()
-		for round := 0; round < sd.cfg.CancellationRounds; round++ {
-			fresh := cancelAndRetry(capture, sd.results, sd.cfg, minRecoverE, sd.workers)
-			if len(fresh) == 0 {
-				break
+		// A panic inside cancellation quarantines the whole SIC stage:
+		// the already-committed first-pass frames are kept and the
+		// failure is recorded as a capture-level drop.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					sd.drops = append(sd.drops, Dropped{Stream: -1, Reason: DropPanic, Lo: -1, Hi: -1,
+						Detail: fmt.Sprintf("%s: %v", StageCancel, r)})
+				}
+			}()
+			capture := &iq.Capture{SampleRate: sd.sampleRate, Samples: sd.retain}
+			minRecoverE := 3 * sd.det.NoiseFloor()
+			for round := 0; round < sd.cfg.CancellationRounds; round++ {
+				fresh := cancelAndRetry(capture, sd.results, sd.cfg, minRecoverE, sd.workers)
+				if len(fresh) == 0 {
+					break
+				}
+				sd.results = append(sd.results, fresh...)
+				sd.res.RecoveredStreams += len(fresh)
 			}
-			sd.results = append(sd.results, fresh...)
-			sd.res.RecoveredStreams += len(fresh)
-		}
+		}()
 	}
 	sd.emitFrames()
 	sd.res.Streams = sd.results
 	sd.res.EdgeCount = len(sd.det.Edges())
 	sd.res.NoiseFloor = sd.det.NoiseFloor()
+	for _, sp := range sd.det.Dropped() {
+		sd.res.Dropped = append(sd.res.Dropped, Dropped{Stream: -1, Reason: DropNonFinite,
+			Lo: sp.Lo, Hi: sp.Hi, Detail: "non-finite samples replaced; detection windows blanked"})
+	}
+	sd.res.Dropped = append(sd.res.Dropped, sd.drops...)
 	sd.det.Release()
 	if !sd.retainExt {
 		pool.PutComplex(sd.retain)
@@ -186,12 +209,13 @@ func (sd *StreamDecoder) pump() {
 func (sd *StreamDecoder) register() {
 	sts, err := streams.Register(sd.det.Edges(), sd.cfg.Streams, sd.cfg.PayloadBits)
 	if err != nil {
-		sd.err = err
+		sd.err = errAt(StageRegister, -1, err)
 		return
 	}
 	sd.registered = true
 	sd.walkers = make([]*streams.Walker, len(sts))
 	sd.results = make([]*StreamResult, len(sts))
+	sd.quarantined = make([]string, len(sts))
 	drift := 1 + sd.cfg.Streams.DriftPPM/1e6
 	for i, st := range sts {
 		n := streams.FrameSlots(sd.cfg.Streams, sd.cfg.PayloadBits(st.Rate)) + alignSlack
@@ -220,13 +244,23 @@ func (sd *StreamDecoder) stepWalkers() {
 	edgeDone := sd.det.EdgeComplete()
 	front := sd.det.Front()
 	measureSpan := sd.cfg.Edge.Gap + sd.cfg.Edge.Win + 1
-	for _, w := range sd.walkers {
-		for !w.Done() {
-			if !closed && (edgeDone < w.Horizon() || front < w.MeasurePos()+measureSpan) {
-				break
-			}
-			w.Step(sd.det)
+	for i, w := range sd.walkers {
+		if sd.quarantined[i] != "" {
+			continue
 		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					sd.quarantined[i] = fmt.Sprintf("%s: %v", StageWalk, r)
+				}
+			}()
+			for !w.Done() {
+				if !closed && (edgeDone < w.Horizon() || front < w.MeasurePos()+measureSpan) {
+					break
+				}
+				w.Step(sd.det)
+			}
+		}()
 	}
 }
 
@@ -235,18 +269,25 @@ func (sd *StreamDecoder) stepWalkers() {
 // drained and the edges a re-walk could touch are final, then emits
 // the committed frames.
 func (sd *StreamDecoder) maybeCommit() {
-	for _, w := range sd.walkers {
-		if !w.Done() {
+	for i, w := range sd.walkers {
+		if sd.quarantined[i] == "" && !w.Done() {
 			return
 		}
 	}
 	if !sd.det.Closed() && (sd.det.EdgeComplete() < sd.commitCut || sd.det.Front() < sd.commitCut) {
 		return
 	}
+	// Quarantined streams drop out here; the healthy rest of the epoch
+	// commits normally.
+	results := make([]*StreamResult, 0, len(sd.results))
 	for i, w := range sd.walkers {
+		if sd.quarantined[i] != "" {
+			sd.dropStream(sd.results[i], sd.quarantined[i])
+			continue
+		}
 		sd.results[i].Slots = w.Obs()
+		results = append(results, sd.results[i])
 	}
-	results := sd.results
 	if sd.cfg.Stages.IQSeparation {
 		// Split fully merged registrations before cross-stream collision
 		// resolution; sources are derived in index order before the
@@ -258,23 +299,63 @@ func (sd *StreamDecoder) maybeCommit() {
 			splitSrcs[i] = sd.src.Split(fmt.Sprintf("split/%d", i))
 		}
 		others := make([]*StreamResult, len(snapshot))
-		work.Do(sd.workers, len(snapshot), func(i int) {
+		errs := work.DoRecover(sd.workers, len(snapshot), func(i int) {
 			if other, ok := trySplit(snapshot[i], sd.det, sd.cfg, splitSrcs[i]); ok {
 				others[i] = other
 			}
 		})
+		if errs != nil {
+			// trySplit mutates its stream in place, so a panicked split
+			// leaves the stream half-rewritten: quarantine it too.
+			kept := results[:0]
+			for i, sr := range snapshot {
+				if errs[i] != nil {
+					sd.dropStream(sr, fmt.Sprintf("%s: split: %v", StageCommit, errs[i]))
+					others[i] = nil
+					continue
+				}
+				kept = append(kept, sr)
+			}
+			results = kept
+		}
 		for _, other := range others {
 			if other != nil {
 				results = append(results, other)
 				sd.res.MergedSplits++
 			}
 		}
-		resolveCollisions(results, sd.cfg, sd.src.Split("collisions"), sd.res)
+		// Collision resolution is cross-stream; a panic there degrades
+		// to unresolved collisions (raw slot observations) rather than
+		// losing any stream.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					sd.drops = append(sd.drops, Dropped{Stream: -1, Reason: DropPanic, Lo: -1, Hi: -1,
+						Detail: fmt.Sprintf("%s: collision resolution: %v", StageCommit, r)})
+				}
+			}()
+			resolveCollisions(results, sd.cfg, sd.src.Split("collisions"), sd.res)
+		}()
 	}
 	sigma2 := obsNoiseVariance(sd.det.NoiseFloor())
-	work.Do(sd.workers, len(results), func(i int) {
+	errs := work.DoRecover(sd.workers, len(results), func(i int) {
+		if hook := sd.cfg.testStreamHook; hook != nil {
+			hook(results[i])
+		}
 		decodeStates(results[i], sd.cfg, sigma2)
 	})
+	if errs != nil {
+		kept := results[:0]
+		for i, sr := range results {
+			if errs[i] != nil {
+				sd.dropStream(sr, fmt.Sprintf("%s: decode: %v", StageCommit, errs[i]))
+				continue
+			}
+			kept = append(kept, sr)
+		}
+		results = kept
+	}
+	sd.markTruncated(results)
 	sd.results = results
 	sd.committed = true
 	// Nothing past the commit stage measures the detector's sample
@@ -282,6 +363,43 @@ func (sd *StreamDecoder) maybeCommit() {
 	// trySplit pin no longer blocks the window from sliding.
 	sd.pinned = false
 	sd.emitFrames()
+}
+
+// dropStream records the quarantine of one stream in Result.Dropped.
+func (sd *StreamDecoder) dropStream(sr *StreamResult, detail string) {
+	id := -1
+	if sr.Stream != nil {
+		id = sr.Stream.ID
+	}
+	sd.drops = append(sd.drops, Dropped{Stream: id, Reason: DropPanic, Lo: -1, Hi: -1, Detail: detail})
+}
+
+// markTruncated records, for every committed stream whose nominal
+// frame runs past the end of a closed capture, a best-effort
+// truncation span. Only fires when the commit happens at Flush — a
+// frame that committed mid-capture was complete by construction.
+func (sd *StreamDecoder) markTruncated(results []*StreamResult) {
+	if !sd.det.Closed() {
+		return
+	}
+	total := sd.det.Front()
+	for _, sr := range results {
+		nominal := streams.FrameSlots(sd.cfg.Streams, sd.cfg.PayloadBits(sr.Stream.Rate))
+		if nominal > len(sr.Slots) {
+			nominal = len(sr.Slots)
+		}
+		last := int64(-1)
+		for k := 0; k < nominal; k++ {
+			if sr.Slots[k].Pos >= total && sr.Slots[k].Pos > last {
+				last = sr.Slots[k].Pos
+			}
+		}
+		if last >= 0 {
+			sd.drops = append(sd.drops, Dropped{Stream: sr.Stream.ID, Reason: DropTruncated,
+				Lo: total, Hi: last + 1,
+				Detail: fmt.Sprintf("frame runs %d samples past capture end", last+1-total)})
+		}
+	}
 }
 
 // emitFrames delivers newly committed frames through OnFrame, in
@@ -304,8 +422,8 @@ func (sd *StreamDecoder) updateLowWater() {
 	}
 	low := sd.det.Front()
 	if !sd.committed {
-		for _, w := range sd.walkers {
-			if w.Done() {
+		for i, w := range sd.walkers {
+			if w.Done() || sd.quarantined[i] != "" {
 				continue
 			}
 			if lw := w.LowWater(); lw < low {

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/cmplx"
 
 	"lf/internal/dsp"
 	"lf/internal/pool"
@@ -71,12 +70,35 @@ type Stream struct {
 
 	edges []Edge
 
+	// Graceful degradation of non-finite input: bad samples are
+	// replaced with the last finite value in the prefix-sum
+	// accumulation (never in the caller's block), their positions
+	// recorded as merged spans, and every differential magnitude whose
+	// windows touch a span blanked so no phantom edge forms.
+	lastFinite complex128
+	dropSpans  []Span
+
 	eof      bool
 	total    int64
 	lowWater int64 // caller promises no MeasureAt below this position
 	err      error
 	released bool
 }
+
+// Span is a half-open range [Lo, Hi) of absolute sample positions.
+type Span struct{ Lo, Hi int64 }
+
+// maxSampleMag bounds accepted sample magnitudes: components beyond it
+// could overflow the running prefix sums to Inf and poison every
+// downstream differential, so such samples are treated exactly like
+// NaN/Inf — dropped and blanked. Real IQ front ends sit ~150 orders of
+// magnitude below this.
+const maxSampleMag = 1e150
+
+// maxDropSpans caps the recorded span list so adversarial NaN floods
+// cannot grow unbounded state: past the cap, new drops widen the last
+// span (conservative over-blanking).
+const maxDropSpans = 512
 
 // NewStream builds an incremental detector. Push blocks of samples,
 // then Close; Edges/EdgeComplete may be consulted at any point.
@@ -112,6 +134,7 @@ func (s *Stream) Reset() {
 	s.groups, s.ghead = s.groups[:0], 0
 	s.prevLast, s.havePrev = 0, false
 	s.edges = s.edges[:0]
+	s.lastFinite, s.dropSpans = 0, s.dropSpans[:0]
 	s.eof, s.total, s.lowWater = false, 0, 0
 	s.err = nil
 }
@@ -129,12 +152,12 @@ func (s *Stream) Push(block []complex128) error {
 		return errors.New("edgedetect: push after close")
 	}
 	for i, v := range block {
-		if cmplx.IsNaN(v) || cmplx.IsInf(v) {
-			s.err = fmt.Errorf("edgedetect: sample %d is not finite", s.front+int64(i))
-			return s.err
+		if !sampleOK(v) {
+			s.noteDrop(s.front + int64(i))
+			v = s.lastFinite
+		} else {
+			s.lastFinite = v
 		}
-	}
-	for _, v := range block {
 		s.acc += v
 		s.sums = append(s.sums, s.acc)
 	}
@@ -301,6 +324,59 @@ func (s *Stream) meanRange(lo, hi int64) complex128 {
 
 func (s *Stream) magAt(i int64) float64 { return s.mag[i-s.magBase] }
 
+// sampleOK reports whether a sample may enter the prefix sums: finite
+// and small enough that no realistic capture length can overflow the
+// running accumulation.
+func sampleOK(v complex128) bool {
+	re, im := real(v), imag(v)
+	return !math.IsNaN(re) && !math.IsNaN(im) &&
+		re < maxSampleMag && re > -maxSampleMag &&
+		im < maxSampleMag && im > -maxSampleMag
+}
+
+// noteDrop records a dropped (non-finite) sample position, merging
+// contiguous positions into spans and coarsening past maxDropSpans.
+func (s *Stream) noteDrop(pos int64) {
+	if n := len(s.dropSpans); n > 0 {
+		last := &s.dropSpans[n-1]
+		if pos < last.Hi {
+			return
+		}
+		if pos == last.Hi || n >= maxDropSpans {
+			last.Hi = pos + 1
+			return
+		}
+	}
+	s.dropSpans = append(s.dropSpans, Span{pos, pos + 1})
+}
+
+// Dropped returns the non-finite sample spans replaced so far, in
+// position order. The slice is appended to by subsequent pushes;
+// callers must not retain it across Push/Reset.
+func (s *Stream) Dropped() []Span { return s.dropSpans }
+
+// blankDropped zeroes the just-computed magnitudes [lo, hi) whose
+// differential windows (±margin) touch a dropped span: the substituted
+// hold values would otherwise read as a phantom edge at the span
+// boundary. Spans are recorded before the magnitudes their windows
+// cover are computed (a drop at p affects positions ≥ p−margin, none
+// of which can be final before p is pushed), so blanking each chunk as
+// it is computed covers every affected position at any block size.
+func (s *Stream) blankDropped(lo, hi, margin int64) {
+	for _, sp := range s.dropSpans {
+		blo, bhi := sp.Lo-margin, sp.Hi+margin
+		if blo < lo {
+			blo = lo
+		}
+		if bhi > hi {
+			bhi = hi
+		}
+		for p := blo; p < bhi; p++ {
+			s.mag[p-s.magBase] = 0
+		}
+	}
+}
+
 // futureFirstMin lower-bounds the first-peak position of any group not
 // yet coalesced: pending raw maxima (or any maximum yet to be scanned)
 // sit at min(raw[0].Pos, scanned) or later, and centroiding moves a
@@ -345,6 +421,9 @@ func (s *Stream) advance() {
 				s.mag[off+int64(i)] = math.Hypot(real(d), imag(d))
 			}
 		})
+		if len(s.dropSpans) > 0 {
+			s.blankDropped(lo, hi, margin)
+		}
 		s.magDone = hi
 	}
 

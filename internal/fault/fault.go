@@ -1,0 +1,544 @@
+// Package fault provides deterministic, composable impairment
+// injection for captures and tag behaviour. It is the adversarial
+// counterpart of the clean simulator: the robustness experiment and
+// the graceful-degradation tests drive the decoder through burst
+// interference, sample dropout, front-end steps, spurious edges,
+// truncated captures, non-finite samples, extreme clock drift, and
+// mid-epoch tag death — all derived from a single seed so every
+// impaired capture is byte-identical across runs.
+//
+// Determinism is positional: an Applier's per-sample decisions depend
+// only on (seed, absolute sample position), never on how the capture
+// is blocked into Apply calls, so a streaming consumer impairing one
+// DMA buffer at a time produces exactly the bytes of a batch
+// ApplyCapture. Stateful ops (sample repeat, the step holds) latch
+// their state at fixed absolute positions, preserving the same
+// contract.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lf/internal/iq"
+	"lf/internal/rng"
+	"lf/internal/tag"
+)
+
+// Kind names one impairment family.
+type Kind string
+
+const (
+	// BurstNoise adds a high-variance complex-gaussian burst over a
+	// contiguous sample span — in-band interference swamping the tag
+	// signal for part of the frame.
+	BurstNoise Kind = "burst"
+	// Dropout zeroes contiguous sample spans — DMA underruns or AGC
+	// blanking where the front end delivers silence.
+	Dropout Kind = "dropout"
+	// Repeat freezes contiguous spans at the last pre-span sample — a
+	// stuck DMA buffer re-delivering stale data.
+	Repeat Kind = "repeat"
+	// DCStep adds a constant complex offset from a step position to the
+	// end of capture — an LO leakage / DC calibration jump.
+	DCStep Kind = "dcstep"
+	// GainStep multiplies everything after a step position by a gain —
+	// an AGC retune mid-capture.
+	GainStep Kind = "gainstep"
+	// SpuriousEdges injects short ramped level steps at random
+	// positions — phantom transitions that mimic tag edges.
+	SpuriousEdges Kind = "spurious"
+	// NonFinite replaces isolated samples with NaN/Inf — corrupted DMA
+	// words the decode path must skip rather than propagate.
+	NonFinite Kind = "nonfinite"
+	// Truncate cuts the capture short — the carrier (or the recording)
+	// stops before the slowest frame completes.
+	Truncate Kind = "truncate"
+	// ClockDrift scales each tag's bit period far beyond the nominal
+	// crystal tolerance. Tag-level: applies to emissions, pre-synthesis.
+	ClockDrift Kind = "drift"
+	// TagDeath silences a tag mid-frame (battery brown-out). Tag-level:
+	// applies to emissions, pre-synthesis.
+	TagDeath Kind = "tagdeath"
+)
+
+// CaptureKinds lists the impairments that operate on IQ samples.
+func CaptureKinds() []Kind {
+	return []Kind{BurstNoise, Dropout, Repeat, DCStep, GainStep, SpuriousEdges, NonFinite, Truncate}
+}
+
+// TagKinds lists the impairments that operate on tag emissions.
+func TagKinds() []Kind { return []Kind{ClockDrift, TagDeath} }
+
+func validKind(k Kind) bool {
+	for _, c := range CaptureKinds() {
+		if k == c {
+			return true
+		}
+	}
+	for _, t := range TagKinds() {
+		if k == t {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTagLevel reports whether a kind impairs emissions (pre-synthesis)
+// rather than IQ samples.
+func IsTagLevel(k Kind) bool {
+	for _, t := range TagKinds() {
+		if k == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Injector is one impairment at a severity in [0, 1]. Severity 0 is a
+// no-op; 1 is the worst case the family models (see the per-kind
+// mapping in planOps).
+type Injector struct {
+	Kind     Kind
+	Severity float64
+}
+
+// Config is a seeded impairment mix. The zero value injects nothing.
+type Config struct {
+	// Seed drives every random placement and draw. The same seed and
+	// injector list produce byte-identical impairments.
+	Seed int64
+	// RefAmp is the reference signal amplitude impairments scale
+	// against (a typical per-tag |h|). 0 estimates it from the capture.
+	RefAmp float64
+	// Injectors compose in order; the same kind may repeat.
+	Injectors []Injector
+}
+
+// Validate checks kinds and severities.
+func (c Config) Validate() error {
+	for i, inj := range c.Injectors {
+		if !validKind(inj.Kind) {
+			return fmt.Errorf("fault: unknown kind %q", inj.Kind)
+		}
+		if inj.Severity < 0 || inj.Severity > 1 || math.IsNaN(inj.Severity) {
+			return fmt.Errorf("fault: injector %d (%s): severity %v outside [0, 1]", i, inj.Kind, inj.Severity)
+		}
+	}
+	return nil
+}
+
+// ParseSpec parses a comma-separated impairment list of the form
+// "burst:0.5,dropout:0.2". A bare kind defaults to severity 0.5.
+func ParseSpec(spec string) ([]Injector, error) {
+	var out []Injector
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, sevStr, hasSev := strings.Cut(part, ":")
+		inj := Injector{Kind: Kind(kind), Severity: 0.5}
+		if hasSev {
+			sev, err := strconv.ParseFloat(sevStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad severity in %q: %v", part, err)
+			}
+			inj.Severity = sev
+		}
+		if !validKind(inj.Kind) {
+			return nil, fmt.Errorf("fault: unknown kind %q", kind)
+		}
+		if inj.Severity < 0 || inj.Severity > 1 {
+			return nil, fmt.Errorf("fault: severity in %q outside [0, 1]", part)
+		}
+		out = append(out, inj)
+	}
+	return out, nil
+}
+
+// SplitLevels partitions injectors into capture-level and tag-level
+// groups, preserving order within each.
+func SplitLevels(injs []Injector) (capture, tagLevel []Injector) {
+	for _, inj := range injs {
+		if IsTagLevel(inj.Kind) {
+			tagLevel = append(tagLevel, inj)
+		} else {
+			capture = append(capture, inj)
+		}
+	}
+	return capture, tagLevel
+}
+
+// opKind is the primitive a compiled impairment reduces to.
+type opKind int
+
+const (
+	opNoise opKind = iota // add positional gaussian noise over [lo, hi)
+	opZero                // zero samples over [lo, hi)
+	opHold                // freeze at the value just before lo over [lo, hi)
+	opAdd                 // add amp over [lo, hi), ramped over the first ramp samples
+	opGain                // multiply by gain over [lo, hi)
+	opSet                 // set samples over [lo, hi) to amp (non-finite injection)
+)
+
+// op is one primitive impairment over an absolute sample span.
+type op struct {
+	kind   opKind
+	lo, hi int64
+	amp    complex128
+	gain   float64
+	sigma  float64 // per-component std-dev for opNoise
+	seed   uint64  // positional RNG stream for opNoise
+	ramp   int64
+
+	latched bool
+	held    complex128
+}
+
+// Plan is a compiled, seeded impairment schedule for one capture
+// length. It is immutable once built; NewApplier yields the sequential
+// state needed to execute it.
+type Plan struct {
+	ops []op // sorted by (lo, build order)
+	// N is the impaired capture length: the original length unless a
+	// Truncate injector cut it short.
+	N int64
+}
+
+// Ops reports how many primitive impairment spans the plan contains.
+func (p *Plan) Ops() int { return len(p.ops) }
+
+// PlanCapture compiles the config for an n-sample capture using ref as
+// the reference signal amplitude. All randomness is drawn here, in
+// injector order, so the plan is a pure function of (Config, n, ref).
+func (c Config) PlanCapture(n int64, ref float64) (*Plan, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("fault: empty capture")
+	}
+	if ref <= 0 || math.IsNaN(ref) || math.IsInf(ref, 0) {
+		return nil, fmt.Errorf("fault: non-positive reference amplitude %v", ref)
+	}
+	p := &Plan{N: n}
+	root := rng.New(c.Seed)
+	for i, inj := range c.Injectors {
+		if IsTagLevel(inj.Kind) {
+			continue
+		}
+		src := root.Split(fmt.Sprintf("%s/%d", inj.Kind, i))
+		planOps(p, inj, n, ref, src)
+	}
+	// Stable-sort by span start; ties keep injector order so the
+	// per-sample composition order is part of the plan.
+	sort.SliceStable(p.ops, func(a, b int) bool { return p.ops[a].lo < p.ops[b].lo })
+	return p, nil
+}
+
+// spanIn draws a length-w span starting inside [0, n-w).
+func spanIn(src *rng.Source, n, w int64) (int64, int64) {
+	if w >= n {
+		return 0, n
+	}
+	lo := int64(src.Float64() * float64(n-w))
+	return lo, lo + w
+}
+
+// planOps maps one injector's severity to primitive ops. The mappings
+// are calibrated against the reference amplitude ref (a typical per-tag
+// edge height), so severity 1 is catastrophic for any link budget.
+func planOps(p *Plan, inj Injector, n int64, ref float64, src *rng.Source) {
+	sev := inj.Severity
+	if sev <= 0 {
+		return
+	}
+	switch inj.Kind {
+	case BurstNoise:
+		bursts := 1 + int(sev*3)
+		w := int64(sev * float64(n) / 50)
+		if w < 64 {
+			w = 64
+		}
+		sigma := 3 * sev * ref / math.Sqrt2 // per component
+		for b := 0; b < bursts; b++ {
+			lo, hi := spanIn(src, n, w)
+			p.ops = append(p.ops, op{kind: opNoise, lo: lo, hi: hi, sigma: sigma,
+				seed: uint64(src.Int63())})
+		}
+	case Dropout:
+		drops := 1 + int(sev*4)
+		w := int64(sev * float64(n) / 100)
+		if w < 32 {
+			w = 32
+		}
+		for d := 0; d < drops; d++ {
+			lo, hi := spanIn(src, n, w)
+			p.ops = append(p.ops, op{kind: opZero, lo: lo, hi: hi})
+		}
+	case Repeat:
+		reps := 1 + int(sev*4)
+		w := int64(sev * float64(n) / 100)
+		if w < 32 {
+			w = 32
+		}
+		for d := 0; d < reps; d++ {
+			lo, hi := spanIn(src, n, w)
+			p.ops = append(p.ops, op{kind: opHold, lo: lo, hi: hi})
+		}
+	case DCStep:
+		lo := n/8 + int64(src.Float64()*float64(n)*3/4)
+		amp := complex(5*sev*ref, 0) * src.UnitPhasor()
+		p.ops = append(p.ops, op{kind: opAdd, lo: lo, hi: n, amp: amp, ramp: 1})
+	case GainStep:
+		lo := n/8 + int64(src.Float64()*float64(n)*3/4)
+		gain := 1 + sev*0.75*src.Sign()
+		if gain < 0.25 {
+			gain = 0.25
+		}
+		p.ops = append(p.ops, op{kind: opGain, lo: lo, hi: n, gain: gain})
+	case SpuriousEdges:
+		edges := 1 + int(sev*15)
+		for e := 0; e < edges; e++ {
+			lo := int64(src.Float64() * float64(n-8))
+			amp := complex(src.Uniform(0.5, 1.5)*ref, 0) * src.UnitPhasor()
+			// A level step that later steps back down: two ramped adds
+			// bounding a random dwell, like a real reflector appearing.
+			dwell := int64(src.Uniform(50, 2000))
+			hi := lo + dwell
+			if hi > n {
+				hi = n
+			}
+			p.ops = append(p.ops, op{kind: opAdd, lo: lo, hi: hi, amp: amp, ramp: 3})
+		}
+	case NonFinite:
+		k := 1 + int(sev*8)
+		for e := 0; e < k; e++ {
+			pos := int64(src.Float64() * float64(n))
+			bad := complex(math.NaN(), math.NaN())
+			if e%2 == 1 {
+				bad = complex(math.Inf(1), 0)
+			}
+			p.ops = append(p.ops, op{kind: opSet, lo: pos, hi: pos + 1, amp: bad})
+		}
+	case Truncate:
+		keep := n - int64(sev*0.5*float64(n))
+		if keep < 1 {
+			keep = 1
+		}
+		if keep < p.N {
+			p.N = keep
+		}
+	}
+}
+
+// Applier executes a plan over a capture streamed block-by-block in
+// position order. The impaired sample sequence is a pure function of
+// the plan — block boundaries never change a byte.
+type Applier struct {
+	p    *Plan
+	ops  []op // applier-owned copies (latch state is per-run)
+	next int  // ops[:next] have been activated
+	act  []int
+	pos  int64
+	prev complex128 // last impaired sample emitted (for opHold latching)
+}
+
+// NewApplier starts a fresh pass over the plan.
+func (p *Plan) NewApplier() *Applier {
+	a := &Applier{p: p, ops: make([]op, len(p.ops))}
+	copy(a.ops, p.ops)
+	return a
+}
+
+// Apply impairs the next block in place and returns it, shortened if
+// the plan truncates the capture inside (or before) this block. Once
+// the truncation point is reached every further call returns an empty
+// slice.
+func (a *Applier) Apply(block []complex128) []complex128 {
+	if a.pos >= a.p.N {
+		a.pos += int64(len(block))
+		return block[:0]
+	}
+	var excess int64
+	if rem := a.p.N - a.pos; int64(len(block)) > rem {
+		excess = int64(len(block)) - rem
+		block = block[:rem]
+	}
+	defer func() { a.pos += excess }()
+	for i := range block {
+		pos := a.pos + int64(i)
+		for a.next < len(a.ops) && a.ops[a.next].lo <= pos {
+			a.act = append(a.act, a.next)
+			a.next++
+		}
+		v := block[i]
+		for j := 0; j < len(a.act); j++ {
+			o := &a.ops[a.act[j]]
+			if o.hi <= pos {
+				a.act = append(a.act[:j], a.act[j+1:]...)
+				j--
+				continue
+			}
+			switch o.kind {
+			case opNoise:
+				v += noiseAt(o.seed, pos, o.sigma)
+			case opZero:
+				v = 0
+			case opHold:
+				if !o.latched {
+					o.held, o.latched = a.prev, true
+				}
+				v = o.held
+			case opAdd:
+				if d := pos - o.lo; o.ramp > 1 && d < o.ramp {
+					v += o.amp * complex(float64(d+1)/float64(o.ramp), 0)
+				} else {
+					v += o.amp
+				}
+			case opGain:
+				v *= complex(o.gain, 0)
+			case opSet:
+				v = o.amp
+			}
+		}
+		block[i] = v
+		a.prev = v
+	}
+	a.pos += int64(len(block))
+	return block
+}
+
+// splitmix64 is the positional hash behind opNoise: a full-avalanche
+// mix of (seed, position) so every sample's draw is independent of
+// every other's and of block boundaries.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// noiseAt draws the complex gaussian (per-component std-dev sigma) for
+// one absolute position via Box-Muller over two positional uniforms.
+func noiseAt(seed uint64, pos int64, sigma float64) complex128 {
+	h1 := splitmix64(seed ^ uint64(pos)*0xD6E8FEB86659FD93)
+	h2 := splitmix64(h1 ^ 0xA5A5A5A5A5A5A5A5)
+	u1 := (float64(h1>>11) + 1) / (1 << 53) // in (0, 1]
+	u2 := float64(h2>>11) / (1 << 53)
+	r := sigma * math.Sqrt(-2*math.Log(u1))
+	s, c := math.Sincos(2 * math.Pi * u2)
+	return complex(r*c, r*s)
+}
+
+// EstimateRef estimates the reference signal amplitude of a capture as
+// the mean absolute deviation of the samples around their mean — a
+// robust proxy for the aggregate tag edge height that needs no channel
+// knowledge. Non-finite samples are skipped.
+func EstimateRef(samples []complex128) float64 {
+	var mean complex128
+	count := 0
+	for _, v := range samples {
+		if !finite(v) {
+			continue
+		}
+		mean += v
+		count++
+	}
+	if count == 0 {
+		return 1e-4
+	}
+	mean /= complex(float64(count), 0)
+	var dev float64
+	for _, v := range samples {
+		if !finite(v) {
+			continue
+		}
+		dev += math.Hypot(real(v-mean), imag(v-mean))
+	}
+	dev /= float64(count)
+	if dev <= 0 || math.IsNaN(dev) || math.IsInf(dev, 0) {
+		return 1e-4
+	}
+	return dev
+}
+
+func finite(v complex128) bool {
+	return !math.IsNaN(real(v)) && !math.IsInf(real(v), 0) &&
+		!math.IsNaN(imag(v)) && !math.IsInf(imag(v), 0)
+}
+
+// ApplyCapture impairs a copy of the capture (the original is never
+// touched) with every capture-level injector in the config.
+func (c Config) ApplyCapture(capture *iq.Capture) (*iq.Capture, error) {
+	ref := c.RefAmp
+	if ref == 0 {
+		ref = EstimateRef(capture.Samples)
+	}
+	plan, err := c.PlanCapture(int64(len(capture.Samples)), ref)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, len(capture.Samples))
+	copy(out, capture.Samples)
+	out = plan.NewApplier().Apply(out)
+	return &iq.Capture{SampleRate: capture.SampleRate, Samples: out, Start: capture.Start}, nil
+}
+
+// ApplyEmissions impairs a deep copy of the emissions with every
+// tag-level injector (clock drift, mid-epoch death). Ground-truth Bits
+// are preserved so scoring counts the lost tail as errors — the point
+// of the measurement.
+func (c Config) ApplyEmissions(ems []*tag.Emission) ([]*tag.Emission, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]*tag.Emission, len(ems))
+	for i, em := range ems {
+		cp := *em
+		cp.Toggles = append([]tag.Toggle(nil), em.Toggles...)
+		cp.Bits = append([]byte(nil), em.Bits...)
+		out[i] = &cp
+	}
+	root := rng.New(c.Seed)
+	for i, inj := range c.Injectors {
+		if !IsTagLevel(inj.Kind) || inj.Severity <= 0 {
+			continue
+		}
+		src := root.Split(fmt.Sprintf("%s/%d", inj.Kind, i))
+		for _, em := range out {
+			switch inj.Kind {
+			case ClockDrift:
+				// Up to ±2000 ppm at severity 1 — far beyond the 150 ppm
+				// crystal bound the walker's tolerance is sized for.
+				f := 1 + src.Sign()*inj.Severity*2000e-6*src.Uniform(0.5, 1)
+				for t := range em.Toggles {
+					em.Toggles[t].Time = em.Start + (em.Toggles[t].Time-em.Start)*f
+				}
+				em.BitPeriod *= f
+			case TagDeath:
+				if src.Float64() >= inj.Severity {
+					continue
+				}
+				death := em.Start + src.Uniform(0.3, 0.8)*(em.End()-em.Start)
+				cut := len(em.Toggles)
+				for t, tg := range em.Toggles {
+					if tg.Time >= death {
+						cut = t
+						break
+					}
+				}
+				em.Toggles = em.Toggles[:cut]
+				// A dying tag's antenna relaxes to detuned.
+				if cut > 0 && em.Toggles[cut-1].State == 1 {
+					em.Toggles = append(em.Toggles, tag.Toggle{Time: death, State: 0})
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package fault
+
+import (
+	"math"
+	"math/cmplx"
+	"reflect"
+	"testing"
+
+	"lf/internal/iq"
+	"lf/internal/rng"
+	"lf/internal/tag"
+)
+
+func testCapture(n int) *iq.Capture {
+	src := rng.New(7)
+	samples := make([]complex128, n)
+	for i := range samples {
+		samples[i] = complex(1e-3, 0) + src.ComplexNorm(1e-9)
+	}
+	return &iq.Capture{SampleRate: 1e6, Samples: samples}
+}
+
+func allInjectors(sev float64) []Injector {
+	var injs []Injector
+	for _, k := range CaptureKinds() {
+		injs = append(injs, Injector{Kind: k, Severity: sev})
+	}
+	return injs
+}
+
+// TestApplyCaptureDeterministic pins the core contract: the same seed
+// and injector list produce a byte-identical impaired capture, and the
+// original capture is never mutated.
+func TestApplyCaptureDeterministic(t *testing.T) {
+	cap1 := testCapture(20000)
+	orig := append([]complex128(nil), cap1.Samples...)
+	cfg := Config{Seed: 42, RefAmp: 1e-4, Injectors: allInjectors(0.6)}
+	a, err := cfg.ApplyCapture(cap1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, cap1.Samples) {
+		t.Fatal("ApplyCapture mutated the input capture")
+	}
+	b, err := cfg.ApplyCapture(cap1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		va, vb := a.Samples[i], b.Samples[i]
+		if va != vb && !(cmplx.IsNaN(va) && cmplx.IsNaN(vb)) {
+			t.Fatalf("sample %d differs: %v vs %v", i, va, vb)
+		}
+	}
+	// A different seed must actually change something.
+	c, err := Config{Seed: 43, RefAmp: 1e-4, Injectors: allInjectors(0.6)}.ApplyCapture(cap1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(c.Samples) == len(a.Samples)
+	if same {
+		for i := range a.Samples {
+			if a.Samples[i] != c.Samples[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical impairments")
+	}
+}
+
+// TestApplierBlockIndependence pins positional determinism: impairing
+// the capture in blocks of any size yields the bytes of the one-shot
+// batch pass, including the stateful repeat/hold and truncation ops.
+func TestApplierBlockIndependence(t *testing.T) {
+	capt := testCapture(15000)
+	cfg := Config{Seed: 9, RefAmp: 1e-4, Injectors: allInjectors(0.7)}
+	plan, err := cfg.PlanCapture(int64(len(capt.Samples)), 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Ops() == 0 {
+		t.Fatal("plan compiled no ops at severity 0.7")
+	}
+	batch := append([]complex128(nil), capt.Samples...)
+	batch = plan.NewApplier().Apply(batch)
+
+	for _, block := range []int{1, 7, 333, 4096} {
+		out := make([]complex128, 0, len(capt.Samples))
+		ap := plan.NewApplier()
+		for lo := 0; lo < len(capt.Samples); lo += block {
+			hi := min(lo+block, len(capt.Samples))
+			chunk := append([]complex128(nil), capt.Samples[lo:hi]...)
+			out = append(out, ap.Apply(chunk)...)
+		}
+		if len(out) != len(batch) {
+			t.Fatalf("block %d: length %d vs batch %d", block, len(out), len(batch))
+		}
+		for i := range out {
+			va, vb := out[i], batch[i]
+			if va != vb && !(cmplx.IsNaN(va) && cmplx.IsNaN(vb)) {
+				t.Fatalf("block %d: sample %d differs: %v vs %v", block, i, va, vb)
+			}
+		}
+	}
+}
+
+// TestTruncate verifies the truncation op cuts the capture and that
+// severity scales the cut.
+func TestTruncate(t *testing.T) {
+	capt := testCapture(10000)
+	mild, err := Config{Seed: 1, RefAmp: 1e-4, Injectors: []Injector{{Truncate, 0.2}}}.ApplyCapture(capt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	harsh, err := Config{Seed: 1, RefAmp: 1e-4, Injectors: []Injector{{Truncate, 1}}}.ApplyCapture(capt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mild.Samples) >= len(capt.Samples) || len(harsh.Samples) >= len(mild.Samples) {
+		t.Fatalf("truncation not monotone in severity: %d, %d, %d",
+			len(capt.Samples), len(mild.Samples), len(harsh.Samples))
+	}
+	if len(harsh.Samples) != len(capt.Samples)/2 {
+		t.Fatalf("severity 1 should cut half: kept %d of %d", len(harsh.Samples), len(capt.Samples))
+	}
+}
+
+// TestNonFiniteInjection verifies NaN/Inf samples actually land.
+func TestNonFiniteInjection(t *testing.T) {
+	capt := testCapture(10000)
+	out, err := Config{Seed: 3, RefAmp: 1e-4, Injectors: []Injector{{NonFinite, 1}}}.ApplyCapture(capt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for _, v := range out.Samples {
+		if cmplx.IsNaN(v) || cmplx.IsInf(v) {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Fatal("nonfinite injector produced no non-finite samples")
+	}
+}
+
+// TestSeverityZeroIsIdentity: a zero-severity injector is a no-op.
+func TestSeverityZeroIsIdentity(t *testing.T) {
+	capt := testCapture(5000)
+	out, err := Config{Seed: 5, RefAmp: 1e-4, Injectors: allInjectors(0)}.ApplyCapture(capt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Samples, capt.Samples) {
+		t.Fatal("severity 0 changed the capture")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	injs, err := ParseSpec("burst:0.5, dropout:0.25,truncate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Injector{{BurstNoise, 0.5}, {Dropout, 0.25}, {Truncate, 0.5}}
+	if !reflect.DeepEqual(injs, want) {
+		t.Fatalf("got %v want %v", injs, want)
+	}
+	for _, bad := range []string{"bogus:0.5", "burst:2", "burst:x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// TestApplyEmissions pins determinism and the death/drift semantics of
+// the tag-level injectors.
+func TestApplyEmissions(t *testing.T) {
+	src := rng.New(11)
+	var ems []*tag.Emission
+	for i := 0; i < 6; i++ {
+		tc := tag.Config{ID: i, BitRate: 100e3, ClockPPM: 150,
+			Comparator: tag.DefaultComparator(), Payload: src.Bits(64)}
+		ems = append(ems, tag.Emit(tc, src))
+	}
+	cfg := Config{Seed: 21, Injectors: []Injector{{ClockDrift, 1}, {TagDeath, 1}}}
+	a, err := cfg.ApplyEmissions(ems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.ApplyEmissions(ems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("ApplyEmissions not deterministic")
+	}
+	drifted, died := false, false
+	for i, em := range a {
+		if em.BitPeriod != ems[i].BitPeriod {
+			drifted = true
+			// Drift must stay within the ±2000 ppm severity-1 bound.
+			if r := math.Abs(em.BitPeriod/ems[i].BitPeriod - 1); r > 2100e-6 {
+				t.Fatalf("tag %d drift ratio %v beyond bound", i, r)
+			}
+		}
+		if len(em.Toggles) < len(ems[i].Toggles) {
+			died = true
+		}
+		if !reflect.DeepEqual(em.Bits, ems[i].Bits) {
+			t.Fatalf("tag %d ground-truth bits changed", i)
+		}
+	}
+	if !drifted || !died {
+		t.Fatalf("severity-1 drift/death did not fire (drifted=%v died=%v)", drifted, died)
+	}
+	// Originals untouched.
+	if a[0] == ems[0] {
+		t.Fatal("ApplyEmissions returned the original emission pointer")
+	}
+}

@@ -36,6 +36,13 @@ type Config struct {
 	CollisionRateThreshold float64
 	// MinRate is the floor for rate reduction (bits/s).
 	MinRate float64
+	// MinConfidence gates frame acceptance on the decoder's confidence
+	// score in addition to the CRC. A 16-bit CRC passes random garbage
+	// once in 65k frames; on a degraded channel (fault injection, deep
+	// collisions) the decoder can emit many near-random candidate
+	// frames per epoch, so CRC alone is no longer a negligible risk.
+	// Frames below the threshold are ignored and simply retransmit.
+	MinConfidence float64
 	// Seed drives payload generation.
 	Seed int64
 }
@@ -47,6 +54,7 @@ func DefaultConfig() Config {
 		MaxEpochs:              12,
 		CollisionRateThreshold: 0.25,
 		MinRate:                25e3,
+		MinConfidence:          0.05,
 		Seed:                   1,
 	}
 }
@@ -97,6 +105,13 @@ type EpochStats struct {
 	// MaxRate is the network's maximum bit rate during this epoch
 	// (reflecting any slow-down broadcasts).
 	MaxRate float64
+	// MeanConfidence averages the decoder's confidence over the
+	// epoch's streams — a link-quality signal the reader can watch to
+	// notice degradation before frames start failing outright.
+	MeanConfidence float64
+	// LowConfidence counts frames rejected by the MinConfidence gate
+	// despite a passing CRC.
+	LowConfidence int
 }
 
 // Result summarizes a session.
@@ -153,11 +168,22 @@ func Collect(net *lf.Network, msgs []Message, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		collided, slots := 0, 0
+		collided, slots, lowConf := 0, 0, 0
+		confSum := 0.0
 		for _, sr := range out.Streams {
 			collided += sr.CollidedSlots
 			slots += len(sr.Slots)
+			confSum += sr.Confidence
 			if id, data, ok := parseFrame(sr.Bits); ok {
+				// Acceptance requires both the CRC and the decoder's
+				// own confidence: a frame assembled from a marginal
+				// Viterbi path can pass a 16-bit CRC by chance, and on
+				// a badly degraded channel those candidates are
+				// plentiful. Low-confidence frames just retransmit.
+				if sr.Confidence < cfg.MinConfidence {
+					lowConf++
+					continue
+				}
 				if wantData, known := want[id]; known && !bitsEqual(data, wantData) {
 					continue // CRC collision against a corrupted frame; ignore
 				} else if known {
@@ -166,9 +192,13 @@ func Collect(net *lf.Network, msgs []Message, cfg Config) (*Result, error) {
 			}
 		}
 		stats := EpochStats{
-			Seconds:   ep.Capture.Duration(),
-			Delivered: len(res.Delivered),
-			MaxRate:   maxRate(currentRates),
+			Seconds:       ep.Capture.Duration(),
+			Delivered:     len(res.Delivered),
+			MaxRate:       maxRate(currentRates),
+			LowConfidence: lowConf,
+		}
+		if len(out.Streams) > 0 {
+			stats.MeanConfidence = confSum / float64(len(out.Streams))
 		}
 		if slots > 0 {
 			stats.CollisionRate = float64(collided) / float64(slots)

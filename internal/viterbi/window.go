@@ -192,17 +192,46 @@ func (v *Windowed) emit(end, endState int) {
 	v.base = end + 1
 }
 
+// Margin returns the survivor-score gap between the best and runner-up
+// end states after the last Push — a log-likelihood proxy for how
+// decisively the trellis preferred the decoded sequence over its
+// nearest competitor. +Inf when only one survivor path remains live.
+// Valid after Flush (the final commit never rewrites the end scores).
+func (v *Windowed) Margin() float64 {
+	if v.n == 0 {
+		return 0
+	}
+	best, second := neginf, neginf
+	for s := 0; s < numStates; s++ {
+		switch sc := v.sc[s]; {
+		case sc > best:
+			second, best = best, sc
+		case sc > second:
+			second = sc
+		}
+	}
+	return best - second
+}
+
 // DecodeWindowed runs the windowed recursion over a whole emission
 // sequence. With window >= len(emissions) (or any sequence whose
 // survivor paths merge within the window) the result is identical to
 // Decode; either way memory is O(window).
 func (d *Decoder) DecodeWindowed(emissions []Emission, window int) []State {
+	states, _ := d.DecodeWindowedMargin(emissions, window)
+	return states
+}
+
+// DecodeWindowedMargin is DecodeWindowed plus the final path margin
+// (see Windowed.Margin), for per-frame confidence scoring.
+func (d *Decoder) DecodeWindowedMargin(emissions []Emission, window int) ([]State, float64) {
 	if len(emissions) == 0 {
-		return nil
+		return nil, 0
 	}
 	v := NewWindowed(d, window)
 	for _, e := range emissions {
 		v.Push(e)
 	}
-	return v.Flush()
+	states := v.Flush()
+	return states, v.Margin()
 }

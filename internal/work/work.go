@@ -75,6 +75,33 @@ func Do(workers, n int, fn func(i int)) {
 	}
 }
 
+// DoRecover is Do with per-index panic isolation: a panic inside fn(i)
+// is captured as errs[i] instead of tearing down the pool, so one
+// misbehaving work item cannot take down its siblings. Returns nil when
+// every index completed cleanly (the common case allocates nothing).
+// The same per-index write-confinement contract as Do applies, so the
+// captured error set is identical at any worker count.
+func DoRecover(workers, n int, fn func(i int)) []error {
+	var (
+		errs []error
+		mu   sync.Mutex
+	)
+	Do(workers, n, func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if errs == nil {
+					errs = make([]error, n)
+				}
+				errs[i] = fmt.Errorf("panic: %v", r)
+				mu.Unlock()
+			}
+		}()
+		fn(i)
+	})
+	return errs
+}
+
 // MinChunk is the smallest per-range work size DoRanges hands a worker.
 // Splitting finer than this spends more on scheduling than the chunk's
 // own arithmetic: a chunk of 16384 differential evaluations is a few

@@ -381,6 +381,39 @@ type Result = decoder.Result
 // StreamResult is the decode of one registered stream.
 type StreamResult = decoder.StreamResult
 
+// DecodeError is the typed error every decode-path failure surfaces
+// as, carrying the pipeline stage and (when known) the sample position
+// the failure is anchored at. Inspect with errors.As.
+type DecodeError = decoder.DecodeError
+
+// DecodeStage names the pipeline stage a DecodeError originated in.
+type DecodeStage = decoder.Stage
+
+// Decode stages re-exported for callers.
+const (
+	StageInput      = decoder.StageInput
+	StageEdgeDetect = decoder.StageEdgeDetect
+	StageRegister   = decoder.StageRegister
+	StageWalk       = decoder.StageWalk
+	StageCommit     = decoder.StageCommit
+	StageCancel     = decoder.StageCancel
+)
+
+// Dropped records one graceful-degradation event in Result.Dropped: a
+// sample span or stream the decoder gave up on instead of failing the
+// whole epoch.
+type Dropped = decoder.Dropped
+
+// DropReason classifies a Dropped entry.
+type DropReason = decoder.DropReason
+
+// Drop reasons re-exported for callers.
+const (
+	DropNonFinite = decoder.DropNonFinite
+	DropPanic     = decoder.DropPanic
+	DropTruncated = decoder.DropTruncated
+)
+
 // NewDecoder builds a decoder.
 func NewDecoder(cfg DecoderConfig) (*Decoder, error) {
 	if cfg.SampleRate <= 0 {
