@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 
 .PHONY: all build vet test race race-stream bench benchjson benchguard \
-	fuzz fuzz-smoke robustness-smoke ci clean
+	fuzz fuzz-smoke kernel-smoke robustness-smoke profile ci clean
 
 all: build
 
@@ -56,12 +56,27 @@ fuzz:
 fuzz-smoke:
 	$(MAKE) fuzz FUZZTIME=5s
 
+# Kernel-equivalence smoke: fuzz the coarse-to-fine sweep against the
+# dense reference (skip soundness + guard-range coverage, DESIGN.md
+# §12), plus the direct unit equivalence suites for the SoA kernels,
+# quickselect median, and windowed NMS.
+kernel-smoke:
+	$(GO) test -run 'TestPrefixSoA|TestDiffSweep|TestMedianFloat|TestSuppress' ./internal/dsp
+	$(GO) test -run '^$$' -fuzz FuzzDiffSweepSparse -fuzztime 5s ./internal/dsp
+	$(GO) test -run TestSparseSweepMatchesDense -short .
+
 # One-epoch robustness sweep: fault injection across severities with
 # the streaming==batch degraded-identity check enforced per point.
 robustness-smoke:
 	$(GO) run ./cmd/lfbench -exp robustness -quick -epochs 1
 
-ci: vet build test race race-stream fuzz-smoke robustness-smoke benchguard
+# CPU + heap profiles of the micro-benchmark suite, for hunting the
+# next hot spot (`go tool pprof lfbench.cpu.prof`).
+profile:
+	$(GO) run ./cmd/lfbench -benchjson /tmp/lfbench-profile.json \
+		-cpuprofile lfbench.cpu.prof -memprofile lfbench.mem.prof
+
+ci: vet build test race race-stream fuzz-smoke kernel-smoke robustness-smoke benchguard
 
 clean:
 	$(GO) clean ./...

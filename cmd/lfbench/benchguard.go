@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 )
 
 // guardThreshold is the fractional regression the guard tolerates
@@ -34,6 +35,20 @@ func runBenchGuard(baselinePath string, seed int64) error {
 	var baseline benchReport
 	if err := json.Unmarshal(data, &baseline); err != nil {
 		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	// A baseline recorded on a machine with a different core count (or a
+	// restricted GOMAXPROCS) is not comparable: the parallel rungs of
+	// its worker sweep measured different real concurrency, so gating
+	// against it produces both false regressions and false passes. Warn
+	// loudly and skip the gated comparison rather than fail CI on a
+	// meaningless diff.
+	if baseline.NumCPU != runtime.NumCPU() || baseline.GOMAXPROCS != baseline.NumCPU {
+		fmt.Fprintf(os.Stderr,
+			"benchguard: WARNING: baseline %s was recorded with num_cpu=%d gomaxprocs=%d but this machine has %d CPUs;\n"+
+				"benchguard: the gated comparison is not meaningful across machines — SKIPPING all gated stages.\n"+
+				"benchguard: re-record the baseline on this machine with `lfbench -benchjson %s`.\n",
+			baselinePath, baseline.NumCPU, baseline.GOMAXPROCS, runtime.NumCPU(), baselinePath)
+		return nil
 	}
 	base := make(map[string]benchResult, len(baseline.Benchmarks))
 	for _, b := range baseline.Benchmarks {

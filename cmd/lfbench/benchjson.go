@@ -28,11 +28,20 @@ const streamBenchBlock = 8192
 // incrementally from mid-capture instead of deferring to Flush.
 const streamBenchCalib = 32768
 
-// workerSweep is the fixed worker-count ladder every pool stage is
-// measured at. Fixed counts (rather than GOMAXPROCS) keep the sweep
-// comparable across machines; the report's num_cpu field says how many
-// of the rungs had real cores behind them.
-var workerSweep = []int{1, 2, 4}
+// workerSweep is the worker-count ladder every pool stage is measured
+// at: 1, 2, 4, ... capped at the machine's core count. Rungs beyond
+// NumCPU would time-slice goroutines over the same cores and report
+// phantom "parallel" numbers no other machine could compare against
+// (the committed baseline once showed workers=2/4 slower than 1 for
+// exactly that reason); the report's num_cpu/gomaxprocs fields let
+// -benchguard refuse cross-machine comparisons outright.
+func workerSweep() []int {
+	sweep := []int{1}
+	for w := 2; w <= runtime.NumCPU(); w *= 2 {
+		sweep = append(sweep, w)
+	}
+	return sweep
+}
 
 // benchResult is one benchmark's measurement.
 type benchResult struct {
@@ -245,7 +254,7 @@ func buildBenchReport(seed int64) (*benchReport, error) {
 	}
 
 	var serialNs, bestNs float64
-	for _, w := range workerSweep {
+	for _, w := range workerSweep() {
 		w := w
 		r := measure("decode", w, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -267,7 +276,7 @@ func buildBenchReport(seed int64) (*benchReport, error) {
 		report.DecodeSpeedup = serialNs / bestNs
 	}
 
-	for _, w := range workerSweep {
+	for _, w := range workerSweep() {
 		cfg := edgedetect.DefaultConfig()
 		cfg.Parallelism = w
 		report.Benchmarks = append(report.Benchmarks, measure("edgedetect", w, func(b *testing.B) {
@@ -287,6 +296,32 @@ func buildBenchReport(seed int64) (*benchReport, error) {
 	}
 	report.Streaming = streaming
 	report.Benchmarks = append(report.Benchmarks, streamBench)
+
+	// A/B the coarse-to-fine sweep against the forced-dense kernel on
+	// the same streaming decode (informational, not gated): the ratio
+	// of decode/streaming/dense to decode/streaming is the sparse
+	// kernel's whole-pipeline win.
+	dcfg := net.DecoderConfig()
+	dcfg.CalibSamples = streamBenchCalib
+	dcfg.ForceDenseSweep = true
+	ddec, err := lf.NewDecoder(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	report.Benchmarks = append(report.Benchmarks, measure("decode/streaming/dense", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := ddec.NewStream()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ep.Blocks(streamBenchBlock, s.Push); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
 
 	report.Benchmarks = append(report.Benchmarks, measure("synthesize", 0, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {

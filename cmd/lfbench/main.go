@@ -7,12 +7,15 @@
 //	lfbench [-exp all|table1|fig1|fig2|fig4|fig5|fig8|fig9|fig10|fig11|fig12|table2|table3|fig13|fig14|ablation]
 //	        [-seed N] [-epochs N] [-quick] [-workers N]
 //	        [-benchjson FILE] [-benchguard BASELINE]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"lf/internal/experiment"
@@ -32,7 +35,39 @@ func main() {
 	workers := flag.Int("workers", 0, "epoch-level parallelism (0 = all cores, 1 = serial); results are identical at any setting")
 	benchJSON := flag.String("benchjson", "", "run the micro-benchmark suite and write machine-readable results to this file instead of experiments")
 	benchGuard := flag.String("benchguard", "", "re-run the micro-benchmark suite and fail if the hot-path stages regressed >15% against this baseline JSON")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lfbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lfbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "lfbench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, *seed); err != nil {

@@ -39,6 +39,43 @@ func (r *Result) Counts() []int {
 // result. It panics if k < 1; if there are fewer points than clusters
 // the surplus clusters end up empty.
 func KMeans(points []complex128, k, restarts, maxIter int, src *rng.Source) *Result {
+	return KMeansWarm(points, k, restarts, maxIter, src, nil)
+}
+
+// Warm caches the best centroids seen per cluster count, letting
+// successive clusterings of near-identical point populations (the
+// recurring eye regions of adjacent streaming windows) start one extra
+// Lloyd descent from an already-converged configuration instead of
+// re-deriving it from random seeds every time. A Warm must not be
+// shared across goroutines.
+type Warm struct {
+	byK map[int][]complex128
+}
+
+func (w *Warm) get(k int) []complex128 {
+	if w == nil || w.byK == nil {
+		return nil
+	}
+	return w.byK[k]
+}
+
+func (w *Warm) put(k int, centroids []complex128) {
+	if w == nil {
+		return
+	}
+	if w.byK == nil {
+		w.byK = make(map[int][]complex128)
+	}
+	w.byK[k] = append([]complex128(nil), centroids...)
+}
+
+// KMeansWarm is KMeans with an optional warm-start cache. The seeded
+// restarts run exactly as in KMeans — the warm descent consumes no
+// randomness and runs after them, so the rng stream (and therefore
+// every seeded restart) is identical with or without a cache — and the
+// warm candidate is adopted only on strictly lower inertia, so a stale
+// cache can waste a little work but never worsen the result.
+func KMeansWarm(points []complex128, k, restarts, maxIter int, src *rng.Source, w *Warm) *Result {
 	if k < 1 {
 		panic("cluster: k < 1")
 	}
@@ -47,23 +84,50 @@ func KMeans(points []complex128, k, restarts, maxIter int, src *rng.Source) *Res
 	}
 	var best *Result
 	for r := 0; r < restarts; r++ {
-		res := kmeansOnce(points, k, maxIter, src)
+		res := kmeansFrom(points, seedPlusPlus(points, k, src), maxIter)
 		if best == nil || res.Inertia < best.Inertia {
 			best = res
 		}
 	}
+	if cached := w.get(k); cached != nil {
+		res := kmeansFrom(points, append([]complex128(nil), cached...), maxIter)
+		if res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	w.put(k, best.Centroids)
 	return best
 }
 
-func kmeansOnce(points []complex128, k, maxIter int, src *rng.Source) *Result {
-	centroids := seedPlusPlus(points, k, src)
+// kmeansFrom runs Lloyd iterations from the given initial centroids
+// (taking ownership of the slice). The assignment step prunes with the
+// triangle inequality on centroid-centroid distances: if the squared
+// distance between candidate centroid c and the current best centroid
+// exceeds 4·bd, then d(p, c) ≥ d(c, best) − d(p, best) > 2√bd − √bd =
+// √bd, so c cannot win. The (4+4e-9) factor absorbs the few-ulp
+// rounding of the computed squared distances, making the float test
+// strictly conservative: a skipped candidate's computed sqDist would
+// have failed the strict `d < bd` comparison anyway, so pruned and
+// unpruned assignment — and therefore the whole descent — are
+// bit-identical (TestKMeansPruningIdentical pins this).
+func kmeansFrom(points []complex128, centroids []complex128, maxIter int) *Result {
+	k := len(centroids)
 	assign := make([]int, len(points))
+	ccSq := make([]float64, k*k)
 	for iter := 0; iter < maxIter; iter++ {
 		changed := false
+		for c1 := 0; c1 < k; c1++ {
+			for c2 := 0; c2 < k; c2++ {
+				ccSq[c1*k+c2] = sqDist(centroids[c1], centroids[c2])
+			}
+		}
 		// Assignment step.
 		for i, p := range points {
 			bi, bd := 0, math.Inf(1)
 			for c, ct := range centroids {
+				if ccSq[bi*k+c] > bd*(4+4e-9) {
+					continue
+				}
 				d := sqDist(p, ct)
 				if d < bd {
 					bi, bd = c, d

@@ -223,10 +223,19 @@ func medianAbs(cs []complex128) float64 {
 // (nominally ≥ 18; the paper's periodic-collision structure provides
 // one point per repeated bit slot).
 func SeparateBlind(points []complex128, src *rng.Source) (*Separation, error) {
+	return SeparateBlindWarm(points, src, nil)
+}
+
+// SeparateBlindWarm is SeparateBlind with an optional k-means
+// warm-start cache: recurring collision positions in one decode see
+// near-identical lattice populations, so the converged nine-centroid
+// configuration of one position seeds an extra descent at the next
+// (adopted only on strictly lower inertia — see cluster.KMeansWarm).
+func SeparateBlindWarm(points []complex128, src *rng.Source, w *cluster.Warm) (*Separation, error) {
 	if len(points) < 18 {
 		return nil, ErrDegenerate
 	}
-	res := cluster.KMeans(points, 9, 6, 100, src)
+	res := cluster.KMeansWarm(points, 9, 6, 100, src, w)
 	e1, e2, err := Parallelogram(res.Centroids)
 	if err != nil {
 		return nil, err

@@ -13,6 +13,7 @@ import (
 	"math/cmplx"
 	"slices"
 
+	"lf/internal/cluster"
 	"lf/internal/collide"
 	"lf/internal/edgedetect"
 	"lf/internal/epc"
@@ -90,6 +91,11 @@ type Config struct {
 	// to end of capture. Batch Decode honours the same knob, so batch
 	// and streaming stay bit-identical at any setting.
 	CalibSamples int64
+	// ForceDenseSweep disables the edge detector's coarse-to-fine
+	// differential sweep (DESIGN.md §12), forcing the dense kernel at
+	// every position. The decode is bit-identical either way; the knob
+	// exists for A/B benchmarking and debugging.
+	ForceDenseSweep bool
 	// ViterbiWindow is the sliding trellis window of the sequence
 	// decoder: survivor paths commit as they merge and are truncated at
 	// this depth, bounding per-stream decoder state. 0 selects
@@ -431,12 +437,16 @@ func resolveCollisions(results []*StreamResult, cfg Config, src *rng.Source, res
 		keys = append(keys, k)
 	}
 	slices.Sort(keys)
+	// One warm-start cache across the (serial, sorted) group loop:
+	// recurring collision pairs present near-identical lattice
+	// populations, so each separation seeds the next.
+	warm := &cluster.Warm{}
 	for _, k := range keys {
 		g := groups[k]
 		switch {
 		case len(g.streams) == 2:
 			res.Collisions2++
-			separatePair(results, g.streams[0], g.streams[1], g.cls, cfg, src)
+			separatePair(results, g.streams[0], g.streams[1], g.cls, cfg, src, warm)
 		default:
 			res.Collisions3++
 			separateJoint(results, g.cls)
@@ -447,7 +457,7 @@ func resolveCollisions(results []*StreamResult, cfg Config, src *rng.Source, res
 // separatePair resolves a recurring two-stream collision. cls holds
 // the claims of both streams in matching order (pairs share the same
 // underlying edge).
-func separatePair(results []*StreamResult, sa, sb int, cls []claim, cfg Config, src *rng.Source) {
+func separatePair(results []*StreamResult, sa, sb int, cls []claim, cfg Config, src *rng.Source, warm *cluster.Warm) {
 	a, b := results[sa], results[sb]
 	// Collect one observation per collided edge (claims come in pairs
 	// referencing the same edge; slot Obs is the edge differential,
@@ -488,7 +498,7 @@ func separatePair(results []*StreamResult, sa, sb int, cls []claim, cfg Config, 
 	useBlind := cfg.Separation != SeparationAnchored && len(points) >= cfg.MinBlindPoints
 	var sep *collide.Separation
 	if useBlind {
-		s, err := collide.SeparateBlind(points, src)
+		s, err := collide.SeparateBlindWarm(points, src, warm)
 		if err == nil {
 			// Align the blind vectors with the preamble anchors so
 			// states are attributed to the right physical stream with

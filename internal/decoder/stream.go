@@ -74,6 +74,9 @@ func NewStreamDecoder(sampleRate float64, cfg Config) (*StreamDecoder, error) {
 	if ecfg.Parallelism == 0 {
 		ecfg.Parallelism = workers
 	}
+	if cfg.ForceDenseSweep {
+		ecfg.DenseSweep = true
+	}
 	det, err := edgedetect.NewStream(edgedetect.StreamConfig{Config: ecfg, CalibSamples: cfg.CalibSamples})
 	if err != nil {
 		return nil, err

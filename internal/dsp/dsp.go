@@ -7,7 +7,7 @@ package dsp
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"lf/internal/pool"
 	"lf/internal/work"
@@ -112,18 +112,19 @@ func (p *Prefix) DifferentialSeriesInto(dst []float64, gap, win int64, workers i
 }
 
 // MedianFloat returns the median of xs. It copies into pooled scratch
-// and sorts; xs is not modified. Returns 0 for an empty slice.
+// and quickselects — O(n) instead of a full sort, yielding the exact
+// same order statistics (NaNs ordering first, as in sort.Float64s).
+// xs is not modified. Returns 0 for an empty slice.
 func MedianFloat(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	cp := pool.Float(len(xs))
 	copy(cp, xs)
-	sort.Float64s(cp)
 	m := len(cp) / 2
-	med := cp[m]
+	med := selectFloat(cp, m)
 	if len(cp)%2 == 0 {
-		med = (cp[m-1] + cp[m]) / 2
+		med = (maxFloat(cp[:m]) + med) / 2
 	}
 	pool.PutFloat(cp)
 	return med
@@ -206,38 +207,147 @@ func scanPeaks(mag []float64, lo, hi int, threshold float64) []Peak {
 }
 
 // Suppress applies greedy non-maximum suppression: peaks are visited in
-// decreasing value and any peak within minSpacing of an already accepted
-// peak is dropped. The result is re-sorted by position; the input is not
-// modified. Greedy acceptance only ever interacts within minSpacing, so
-// running Suppress on position-separated chunks whose boundary gaps are
-// ≥ minSpacing equals one global pass — the property the incremental
-// edge detector's chunked flushing builds on.
+// (value descending, position ascending) order — a total order, so the
+// result is deterministic even under exact value ties — and any peak
+// within minSpacing of an already accepted peak is dropped. The result
+// is re-sorted by position; the input is not modified. Greedy
+// acceptance only ever interacts within minSpacing, so running Suppress
+// on position-separated chunks whose boundary gaps are ≥ minSpacing
+// equals one global pass — the property the incremental edge detector's
+// chunked flushing builds on.
+//
+// The conflict test uses a grid of minSpacing-wide cells: accepted
+// peaks are pairwise ≥ minSpacing apart, so a cell holds at most one,
+// and a candidate can only conflict with the occupants of its own and
+// the two adjacent cells. That makes the pass O(n log n) in the peak
+// count where the previous kept-list scan was O(n²) — quadratic
+// exactly when it hurt, under spurious-edge fault floods.
 func Suppress(peaks []Peak, minSpacing int64) []Peak {
 	if len(peaks) <= 1 {
 		return peaks
 	}
 	byValue := make([]Peak, len(peaks))
 	copy(byValue, peaks)
-	sort.Slice(byValue, func(i, j int) bool { return byValue[i].Value > byValue[j].Value })
-	var kept []Peak
-	for _, p := range byValue {
-		ok := true
-		for _, k := range kept {
-			d := p.Pos - k.Pos
-			if d < 0 {
-				d = -d
+	if minSpacing < 1 {
+		// No two distinct positions can conflict; just order by position.
+		sortPeaksByPos(byValue)
+		return byValue
+	}
+	sortPeaksByValue(byValue)
+	kept := suppressSorted(byValue[:0], byValue, nil, minSpacing)
+	sortPeaksByPos(kept)
+	return kept
+}
+
+func sortPeaksByValue(peaks []Peak) {
+	slices.SortFunc(peaks, func(a, b Peak) int {
+		if a.Value != b.Value {
+			if a.Value > b.Value {
+				return -1
 			}
-			if d < minSpacing {
-				ok = false
-				break
+			return 1
+		}
+		switch {
+		case a.Pos < b.Pos:
+			return -1
+		case a.Pos > b.Pos:
+			return 1
+		}
+		return 0
+	})
+}
+
+func sortPeaksByPos(peaks []Peak) {
+	slices.SortFunc(peaks, func(a, b Peak) int {
+		switch {
+		case a.Pos < b.Pos:
+			return -1
+		case a.Pos > b.Pos:
+			return 1
+		}
+		// Value-descending tiebreak makes the order total: duplicate
+		// positions (possible only when minSpacing < 1) sort
+		// deterministically.
+		switch {
+		case a.Value > b.Value:
+			return -1
+		case a.Value < b.Value:
+			return 1
+		}
+		return 0
+	})
+}
+
+// suppressSorted greedily accepts peaks from byValue (already in value
+// desc, position asc order) into dst, skipping any within minSpacing of
+// an accepted peak. cells may carry a reusable cell→position map (it is
+// cleared first); nil allocates one. dst may alias byValue's backing
+// array offset zero — acceptance only ever rewrites already-consumed
+// entries.
+func suppressSorted(dst, byValue []Peak, cells map[int64]int64, minSpacing int64) []Peak {
+	if cells == nil {
+		cells = make(map[int64]int64, len(byValue))
+	} else {
+		clear(cells)
+	}
+	for _, p := range byValue {
+		c := p.Pos / minSpacing
+		if p.Pos < 0 && p.Pos%minSpacing != 0 {
+			c-- // floored division: cells stay minSpacing wide below zero
+		}
+		ok := true
+		for _, cc := range [3]int64{c - 1, c, c + 1} {
+			if kp, hit := cells[cc]; hit {
+				d := p.Pos - kp
+				if d < 0 {
+					d = -d
+				}
+				if d < minSpacing {
+					ok = false
+					break
+				}
 			}
 		}
 		if ok {
-			kept = append(kept, p)
+			cells[c] = p.Pos
+			dst = append(dst, p)
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
-	return kept
+	return dst
+}
+
+// Suppressor is Suppress with caller-owned scratch, for allocation-free
+// steady-state reuse (the streaming detector suppresses one chunk per
+// flush). The zero value is ready to use.
+type Suppressor struct {
+	byValue []Peak
+	cells   map[int64]int64
+}
+
+// Suppress runs the cell-grid NMS over chunk, reusing dst (re-sliced to
+// zero length) for the result, which is returned sorted by position.
+// Semantics are identical to the package-level Suppress; chunk is not
+// modified.
+func (sp *Suppressor) Suppress(dst, chunk []Peak, minSpacing int64) []Peak {
+	sp.byValue = append(sp.byValue[:0], chunk...)
+	if minSpacing < 1 {
+		dst = append(dst[:0], sp.byValue...)
+		sortPeaksByPos(dst)
+		return dst
+	}
+	sortPeaksByValue(sp.byValue)
+	if sp.cells == nil {
+		sp.cells = make(map[int64]int64, 64)
+	}
+	dst = suppressSorted(dst[:0], sp.byValue, sp.cells, minSpacing)
+	sortPeaksByPos(dst)
+	return dst
+}
+
+// RetainedBytes reports the live scratch held by the suppressor, for
+// callers that account their window state (the streaming detector).
+func (sp *Suppressor) RetainedBytes() int64 {
+	return int64(len(sp.byValue)) * 16
 }
 
 // EyeHistogram folds a set of edge positions modulo period into bins

@@ -1,0 +1,119 @@
+// Linear-time order statistics for the noise-floor estimate. The
+// detector takes one median per capture over the full differential
+// series — with sort.Float64s that was the single largest flat cost in
+// the edge-detection profile (an O(n log n) pdqsort of ~10⁵ floats per
+// epoch). Quickselect returns the identical order statistic in O(n):
+// the k-th smallest value under a total order does not depend on the
+// algorithm that finds it.
+package dsp
+
+import "math"
+
+// fless orders float64s exactly like sort.Float64s / slices.Sort: NaNs
+// first, then ascending value. Matching the library order keeps the
+// selected order statistics identical to the sorted reference even on
+// adversarial inputs carrying NaNs.
+func fless(a, b float64) bool {
+	return a < b || (math.IsNaN(a) && !math.IsNaN(b))
+}
+
+// selectSmall is the window size below which selection finishes with an
+// insertion sort instead of further partitioning.
+const selectSmall = 12
+
+// selectFloat partially rearranges a so that a[k] holds the k-th
+// smallest element (0-based, fless order) and every element of a[:k]
+// orders at or below it. Three-way partitioning collapses runs of equal
+// keys — the common case for blanked differential series — in one pass.
+func selectFloat(a []float64, k int) float64 {
+	lo, hi := 0, len(a)
+	for hi-lo > selectSmall {
+		p := pivotFloat(a, lo, hi)
+		lt, gt := partition3(a, lo, hi, p)
+		switch {
+		case k < lt:
+			hi = lt
+		case k >= gt:
+			lo = gt
+		default:
+			return p // a[lt:gt] all equal p, and a[:lt] orders below
+		}
+	}
+	insertionFloats(a[lo:hi])
+	return a[k]
+}
+
+// pivotFloat picks a partition pivot: median of three for small
+// windows, ninther (median of three medians-of-three) for large ones,
+// bounding the depth on organ-pipe and killer-sequence inputs.
+func pivotFloat(a []float64, lo, hi int) float64 {
+	n := hi - lo
+	m := lo + n/2
+	if n > 512 {
+		s := n / 8
+		return median3(
+			median3(a[lo], a[lo+s], a[lo+2*s]),
+			median3(a[m-s], a[m], a[m+s]),
+			median3(a[hi-1-2*s], a[hi-1-s], a[hi-1]),
+		)
+	}
+	return median3(a[lo], a[m], a[hi-1])
+}
+
+func median3(x, y, z float64) float64 {
+	if fless(y, x) {
+		x, y = y, x
+	}
+	if fless(z, y) {
+		y = z
+		if fless(y, x) {
+			y = x
+		}
+	}
+	return y
+}
+
+// partition3 is a Dutch-national-flag pass: on return a[lo:lt] orders
+// strictly below p, a[lt:gt] is equivalent to p, a[gt:hi] strictly
+// above.
+func partition3(a []float64, lo, hi int, p float64) (lt, gt int) {
+	i, lt, gt := lo, lo, hi
+	for i < gt {
+		x := a[i]
+		switch {
+		case fless(x, p):
+			a[i], a[lt] = a[lt], x
+			lt++
+			i++
+		case fless(p, x):
+			gt--
+			a[i], a[gt] = a[gt], a[i]
+		default:
+			i++
+		}
+	}
+	return lt, gt
+}
+
+func insertionFloats(a []float64) {
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && fless(x, a[j]) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+// maxFloat returns the greatest element of a under the fless order.
+func maxFloat(a []float64) float64 {
+	m := a[0]
+	for _, v := range a[1:] {
+		if fless(m, v) {
+			m = v
+		}
+	}
+	return m
+}

@@ -43,11 +43,18 @@ type Stream struct {
 	calib   int64
 	workers int
 
-	// From-origin prefix sums of the pushed samples. sums[j] is the
-	// sum of samples [0, sumBase+j); len(sums) == front-sumBase+1.
-	sums    []complex128
+	// From-origin prefix sums of the pushed samples, split into
+	// structure-of-arrays real/imaginary components so the differential
+	// sweep kernels (dsp.DiffSweep, dsp.DiffSweepSparse) stream over
+	// plain float64 lanes. sumsRe[j]/sumsIm[j] hold the componentwise
+	// sum of samples [0, sumBase+j); len == front-sumBase+1. Complex
+	// addition is componentwise, so the split accumulation is bitwise
+	// identical to the former []complex128 prefix.
+	sumsRe  []float64
+	sumsIm  []float64
 	sumBase int64
-	acc     complex128
+	accRe   float64
+	accIm   float64
 	front   int64 // samples pushed so far
 
 	// Differential magnitudes for positions [magBase, magDone).
@@ -59,10 +66,10 @@ type Stream struct {
 	floor      float64
 	threshold  float64
 
-	scanned  int64      // local-maximum scan is complete for positions < scanned
-	raw      []dsp.Peak // raw maxima awaiting a safe NMS/coalesce cut
-	byValue  []dsp.Peak // scratch for suppressChunk
-	kept     []dsp.Peak // scratch for suppressChunk
+	scanned  int64          // local-maximum scan is complete for positions < scanned
+	raw      []dsp.Peak     // raw maxima awaiting a safe NMS/coalesce cut
+	nms      dsp.Suppressor // reusable NMS scratch for suppressChunk
+	kept     []dsp.Peak     // scratch for suppressChunk
 	groups   []group    // coalesced groups awaiting refinement; head at ghead
 	ghead    int
 	prevLast int64 // last peak position of the previously refined group
@@ -110,7 +117,8 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 		return nil, fmt.Errorf("edgedetect: negative CalibSamples %d", cfg.CalibSamples)
 	}
 	s := &Stream{cfg: cfg.Config, calib: cfg.CalibSamples, workers: work.Resolve(cfg.Parallelism)}
-	s.sums = append(pool.Complex(0), 0)
+	s.sumsRe = append(pool.Float(0), 0)
+	s.sumsIm = append(pool.Float(0), 0)
 	s.mag = pool.Float(0)
 	return s, nil
 }
@@ -120,17 +128,19 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 // allocate. Edges returned before the Reset are invalidated.
 func (s *Stream) Reset() {
 	if s.released {
-		s.sums = pool.Complex(0)
+		s.sumsRe = pool.Float(0)
+		s.sumsIm = pool.Float(0)
 		s.mag = pool.Float(0)
 		s.released = false
 	}
-	s.sums = append(s.sums[:0], 0)
-	s.sumBase, s.acc, s.front = 0, 0, 0
+	s.sumsRe = append(s.sumsRe[:0], 0)
+	s.sumsIm = append(s.sumsIm[:0], 0)
+	s.sumBase, s.accRe, s.accIm, s.front = 0, 0, 0, 0
 	s.mag = s.mag[:0]
 	s.magBase, s.magDone = 0, 0
 	s.calibrated, s.floor, s.threshold = false, 0, 0
 	s.scanned = 0
-	s.raw, s.byValue, s.kept = s.raw[:0], s.byValue[:0], s.kept[:0]
+	s.raw, s.kept = s.raw[:0], s.kept[:0]
 	s.groups, s.ghead = s.groups[:0], 0
 	s.prevLast, s.havePrev = 0, false
 	s.edges = s.edges[:0]
@@ -158,8 +168,10 @@ func (s *Stream) Push(block []complex128) error {
 		} else {
 			s.lastFinite = v
 		}
-		s.acc += v
-		s.sums = append(s.sums, s.acc)
+		s.accRe += real(v)
+		s.accIm += imag(v)
+		s.sumsRe = append(s.sumsRe, s.accRe)
+		s.sumsIm = append(s.sumsIm, s.accIm)
 	}
 	s.front += int64(len(block))
 	s.advance()
@@ -204,8 +216,9 @@ func (s *Stream) Release() {
 		return
 	}
 	s.released = true
-	pool.PutComplex(s.sums)
-	s.sums = nil
+	pool.PutFloat(s.sumsRe)
+	pool.PutFloat(s.sumsIm)
+	s.sumsRe, s.sumsIm = nil, nil
 	if s.mag != nil {
 		pool.PutFloat(s.mag)
 		s.mag = nil
@@ -267,8 +280,8 @@ func (s *Stream) SetLowWater(pos int64) {
 // capacity beyond the live window: the backing arrays come from the
 // shared pool and may carry slack amortized across unrelated decodes.
 func (s *Stream) RetainedBytes() int64 {
-	return int64(len(s.sums))*16 + int64(len(s.mag))*8 +
-		int64(len(s.raw)+len(s.byValue)+len(s.kept))*16 +
+	return int64(len(s.sumsRe)+len(s.sumsIm))*8 + int64(len(s.mag))*8 +
+		int64(len(s.raw)+len(s.kept))*16 + s.nms.RetainedBytes() +
 		int64(len(s.groups)-s.ghead)*32
 }
 
@@ -297,18 +310,11 @@ func (s *Stream) limit() int64 {
 	return s.front
 }
 
-// prefixAt returns the from-origin prefix sum of samples [0, p).
-func (s *Stream) prefixAt(p int64) complex128 {
-	j := p - s.sumBase
-	if j < 0 {
-		panic("edgedetect: stream prefix window underrun (SetLowWater too aggressive?)")
-	}
-	return s.sums[j]
-}
-
 // meanRange is the clamped windowed mean, bit-identical to the batch
-// detector's prefix Mean: identical clamping and the same subtraction
-// and division of from-origin sums.
+// detector's prefix Mean: identical clamping, then the componentwise
+// subtraction and division of from-origin sums. (Go's complex quotient
+// with a real divisor reduces to exactly these two float divisions, so
+// the SoA form equals the former complex128 one bit for bit.)
 func (s *Stream) meanRange(lo, hi int64) complex128 {
 	if lo < 0 {
 		lo = 0
@@ -319,7 +325,12 @@ func (s *Stream) meanRange(lo, hi int64) complex128 {
 	if lo >= hi {
 		return 0
 	}
-	return (s.prefixAt(hi) - s.prefixAt(lo)) / complex(float64(hi-lo), 0)
+	jlo, jhi := lo-s.sumBase, hi-s.sumBase
+	if jlo < 0 {
+		panic("edgedetect: stream prefix window underrun (SetLowWater too aggressive?)")
+	}
+	fn := float64(hi - lo)
+	return complex((s.sumsRe[jhi]-s.sumsRe[jlo])/fn, (s.sumsIm[jhi]-s.sumsIm[jlo])/fn)
 }
 
 func (s *Stream) magAt(i int64) float64 { return s.mag[i-s.magBase] }
@@ -400,25 +411,52 @@ func (s *Stream) advance() {
 	// so pre-Close only positions below front−margin are computable;
 	// margins at both capture ends are blanked exactly as in the batch
 	// detector (clamped half-windows would read as phantom edges).
+	//
+	// Once the threshold is fixed, the sweep runs coarse-to-fine
+	// (dsp.DiffSweepSparse): sub-threshold blocks are zero-filled
+	// instead of computed. The zero is a don't-care — every read the
+	// later stages perform on such a position takes the same branch as
+	// it would on the true (sub-threshold) dense value, and every
+	// position within guard = Gap+2 samples of a threshold-crossing
+	// position is computed exactly (DESIGN.md §12). Pre-Close, sparse
+	// extensions additionally hold back the last `guard` computable
+	// positions so each position's guard context is fully inside the
+	// known interior when its skip decision is taken; every downstream
+	// horizon (scan, flushPeaks, futureFirstMin) is monotone in
+	// magDone, so the deferral delays decisions without changing them.
+	guard := g + 2
+	sparse := s.calibrated && !s.cfg.DenseSweep && s.threshold > 0
 	hi := s.front - margin
 	if s.eof {
 		hi = s.total
+	} else if sparse {
+		hi -= guard
 	}
 	if hi > s.magDone {
 		lo := s.magDone
 		count := int(hi - lo)
 		s.mag = extendFloats(s.mag, count)
-		off := lo - s.magBase
 		limit := s.limit()
+		intLo, intHi := margin, limit-margin
 		work.DoRanges(s.workers, count, func(clo, chi int) {
-			for i := clo; i < chi; i++ {
-				p := lo + int64(i)
-				if p < margin || p >= limit-margin {
-					s.mag[off+int64(i)] = 0
-					continue
+			plo, phi := lo+int64(clo), lo+int64(chi)
+			ilo := max(plo, intLo)
+			ihi := min(phi, intHi)
+			for p := plo; p < min(ilo, phi); p++ {
+				s.mag[p-s.magBase] = 0
+			}
+			if ilo < ihi {
+				j0 := int(ilo - s.sumBase)
+				dst := s.mag[ilo-s.magBase : ihi-s.magBase]
+				if sparse {
+					dsp.DiffSweepSparse(s.sumsRe, s.sumsIm, j0, g, w, guard,
+						s.threshold, int(intLo-s.sumBase), int(intHi-s.sumBase), dst)
+				} else {
+					dsp.DiffSweep(s.sumsRe, s.sumsIm, j0, g, w, dst)
 				}
-				d := s.meanRange(p+g, p+g+w) - s.meanRange(p-g-w, p-g)
-				s.mag[off+int64(i)] = math.Hypot(real(d), imag(d))
+			}
+			for p := max(ihi, plo); p < phi; p++ {
+				s.mag[p-s.magBase] = 0
 			}
 		})
 		if len(s.dropSpans) > 0 {
@@ -543,49 +581,14 @@ func (s *Stream) flushPeaks() {
 
 // suppressChunk is greedy non-maximum suppression over one flushed
 // chunk, reusing stream-owned scratch so the steady state allocates
-// nothing. Peaks are visited in (value desc, position asc) order — a
-// total order, so the result is deterministic even under exact value
-// ties — and returned sorted by position, like dsp.Suppress.
+// nothing. It delegates to the shared dsp cell-grid pass: peaks are
+// visited in (value desc, position asc) order — a total order, so the
+// result is deterministic even under exact value ties — and returned
+// sorted by position, like dsp.Suppress, in O(n log n) where the
+// former kept-list scan was O(n²) under spurious-edge floods.
 func (s *Stream) suppressChunk(chunk []dsp.Peak) []dsp.Peak {
-	s.byValue = append(s.byValue[:0], chunk...)
-	bv := s.byValue
-	for i := 1; i < len(bv); i++ {
-		p := bv[i]
-		j := i - 1
-		for j >= 0 && (bv[j].Value < p.Value || (bv[j].Value == p.Value && bv[j].Pos > p.Pos)) {
-			bv[j+1] = bv[j]
-			j--
-		}
-		bv[j+1] = p
-	}
-	s.kept = s.kept[:0]
-	for _, p := range bv {
-		ok := true
-		for _, k := range s.kept {
-			d := p.Pos - k.Pos
-			if d < 0 {
-				d = -d
-			}
-			if d < s.cfg.MinSpacing {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			s.kept = append(s.kept, p)
-		}
-	}
-	kp := s.kept
-	for i := 1; i < len(kp); i++ {
-		p := kp[i]
-		j := i - 1
-		for j >= 0 && kp[j].Pos > p.Pos {
-			kp[j+1] = kp[j]
-			j--
-		}
-		kp[j+1] = p
-	}
-	return kp
+	s.kept = s.nms.Suppress(s.kept, chunk, s.cfg.MinSpacing)
+	return s.kept
 }
 
 // centroid refines each surviving peak to the floor-subtracted
@@ -675,8 +678,11 @@ func (s *Stream) trim() {
 	span := g + 2
 
 	keepSum := s.lowWater - g - mw
-	if k := s.magDone - g - s.cfg.Win; k < keepSum {
-		keepSum = k // next differential reads from magDone−Gap−Win
+	if k := s.magDone - g - s.cfg.Win - span; k < keepSum {
+		// The next differential extension reads from magDone−Gap−Win;
+		// the sparse kernel's skip bound additionally reaches span =
+		// Gap+2 guard positions further back (DESIGN.md §12).
+		keepSum = k
 	}
 	if k := s.futureFirstMin() - g - mw; k < keepSum {
 		keepSum = k // a future group's leading window
@@ -696,11 +702,13 @@ func (s *Stream) dropSums(keep int64) {
 		keep = s.front
 	}
 	drop := keep - s.sumBase
-	if drop < 1<<13 || int(drop) < len(s.sums)/2 {
+	if drop < 1<<13 || int(drop) < len(s.sumsRe)/2 {
 		return
 	}
-	n := copy(s.sums, s.sums[drop:])
-	s.sums = s.sums[:n]
+	n := copy(s.sumsRe, s.sumsRe[drop:])
+	copy(s.sumsIm, s.sumsIm[drop:])
+	s.sumsRe = s.sumsRe[:n]
+	s.sumsIm = s.sumsIm[:n]
 	s.sumBase = keep
 }
 

@@ -335,6 +335,11 @@ type DecoderConfig struct {
 	// (sliding trellis window with truncation). 0 selects the default
 	// window; see the viterbi package for the exactness contract.
 	ViterbiWindow int
+	// ForceDenseSweep disables the edge detector's coarse-to-fine
+	// differential sweep, forcing the dense kernel at every position.
+	// Decodes are bit-identical either way (DESIGN.md §12); the knob
+	// exists for A/B benchmarking and debugging.
+	ForceDenseSweep bool
 	// CancellationRounds overrides successive interference cancellation:
 	// 0 keeps the default (3 rounds), negative disables. SIC needs the
 	// whole raw capture, so streaming decodes retain O(capture) memory
@@ -433,6 +438,7 @@ func NewDecoder(cfg DecoderConfig) (*Decoder, error) {
 	dc.Parallelism = cfg.Parallelism
 	dc.CalibSamples = cfg.CalibSamples
 	dc.ViterbiWindow = cfg.ViterbiWindow
+	dc.ForceDenseSweep = cfg.ForceDenseSweep
 	dc.OnFrame = cfg.OnFrame
 	if cfg.CancellationRounds != 0 {
 		dc.CancellationRounds = cfg.CancellationRounds
