@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 30s
 
 .PHONY: all build vet test race race-stream bench benchjson benchguard \
-	fuzz fuzz-smoke kernel-smoke robustness-smoke profile ci clean
+	fuzz fuzz-smoke kernel-smoke obs-smoke robustness-smoke profile ci clean
 
 all: build
 
@@ -65,6 +65,13 @@ kernel-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDiffSweepSparse -fuzztime 5s ./internal/dsp
 	$(GO) test -run TestSparseSweepMatchesDense -short .
 
+# Observability smoke: the golden-trace corpus (batch + streaming,
+# byte-for-byte against testdata/golden/) and the metrics conservation
+# sweep (accounting identities across every fault kind), both under the
+# race detector so the atomic counter paths are exercised concurrently.
+obs-smoke:
+	$(GO) test -race -run 'TestGolden|TestMetricsConservation|TestStatsDeterminism' .
+
 # One-epoch robustness sweep: fault injection across severities with
 # the streaming==batch degraded-identity check enforced per point.
 robustness-smoke:
@@ -76,7 +83,7 @@ profile:
 	$(GO) run ./cmd/lfbench -benchjson /tmp/lfbench-profile.json \
 		-cpuprofile lfbench.cpu.prof -memprofile lfbench.mem.prof
 
-ci: vet build test race race-stream fuzz-smoke kernel-smoke robustness-smoke benchguard
+ci: vet build test race race-stream fuzz-smoke kernel-smoke obs-smoke robustness-smoke benchguard
 
 clean:
 	$(GO) clean ./...

@@ -18,6 +18,12 @@ import (
 // before failing, covering run-to-run scheduler and allocator noise.
 const guardThreshold = 0.15
 
+// statsOverheadLimit caps the instrumented-vs-NoStats streaming decode
+// ratio. Unlike the baseline comparison it is measured within one run
+// on one machine, so it is gated even when the committed baseline is
+// not comparable.
+const statsOverheadLimit = 1.03
+
 // guardedBenches are the benchmark names the guard gates on.
 var guardedBenches = map[string]bool{
 	"decode":           true,
@@ -42,13 +48,14 @@ func runBenchGuard(baselinePath string, seed int64) error {
 	// against it produces both false regressions and false passes. Warn
 	// loudly and skip the gated comparison rather than fail CI on a
 	// meaningless diff.
+	comparable := true
 	if baseline.NumCPU != runtime.NumCPU() || baseline.GOMAXPROCS != baseline.NumCPU {
 		fmt.Fprintf(os.Stderr,
 			"benchguard: WARNING: baseline %s was recorded with num_cpu=%d gomaxprocs=%d but this machine has %d CPUs;\n"+
 				"benchguard: the gated comparison is not meaningful across machines — SKIPPING all gated stages.\n"+
 				"benchguard: re-record the baseline on this machine with `lfbench -benchjson %s`.\n",
 			baselinePath, baseline.NumCPU, baseline.GOMAXPROCS, runtime.NumCPU(), baselinePath)
-		return nil
+		comparable = false
 	}
 	base := make(map[string]benchResult, len(baseline.Benchmarks))
 	for _, b := range baseline.Benchmarks {
@@ -61,31 +68,45 @@ func runBenchGuard(baselinePath string, seed int64) error {
 	}
 
 	var failures []string
-	for _, b := range fresh.Benchmarks {
-		if !guardedBenches[b.Name] {
-			continue
+	if comparable {
+		for _, b := range fresh.Benchmarks {
+			if !guardedBenches[b.Name] {
+				continue
+			}
+			key := fmt.Sprintf("%s/w%d", b.Name, b.Workers)
+			ref, ok := base[key]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: missing from baseline (regenerate with -benchjson)", key))
+				continue
+			}
+			nsRatio := b.NsPerOp / ref.NsPerOp
+			allocRatio := float64(b.AllocsPerOp) / float64(ref.AllocsPerOp)
+			status := "ok"
+			if nsRatio > 1+guardThreshold {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (%+.1f%%)",
+					key, b.NsPerOp, ref.NsPerOp, 100*(nsRatio-1)))
+			}
+			if allocRatio > 1+guardThreshold {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s: allocs/op %d vs baseline %d (%+.1f%%)",
+					key, b.AllocsPerOp, ref.AllocsPerOp, 100*(allocRatio-1)))
+			}
+			fmt.Printf("%-24s ns/op %11.0f (%+6.1f%%)  allocs/op %5d (%+6.1f%%)  %s\n",
+				key, b.NsPerOp, 100*(nsRatio-1), b.AllocsPerOp, 100*(allocRatio-1), status)
 		}
-		key := fmt.Sprintf("%s/w%d", b.Name, b.Workers)
-		ref, ok := base[key]
-		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: missing from baseline (regenerate with -benchjson)", key))
-			continue
-		}
-		nsRatio := b.NsPerOp / ref.NsPerOp
-		allocRatio := float64(b.AllocsPerOp) / float64(ref.AllocsPerOp)
+	}
+	// Instrumentation overhead gate: measured within this run, so it
+	// applies regardless of baseline comparability.
+	if r := fresh.StatsOverheadRatio; r > 0 {
 		status := "ok"
-		if nsRatio > 1+guardThreshold {
+		if r > statsOverheadLimit {
 			status = "FAIL"
-			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (%+.1f%%)",
-				key, b.NsPerOp, ref.NsPerOp, 100*(nsRatio-1)))
+			failures = append(failures, fmt.Sprintf(
+				"stats overhead: instrumented streaming decode %.1f%% slower than NoStats (limit %.0f%%)",
+				100*(r-1), 100*(statsOverheadLimit-1)))
 		}
-		if allocRatio > 1+guardThreshold {
-			status = "FAIL"
-			failures = append(failures, fmt.Sprintf("%s: allocs/op %d vs baseline %d (%+.1f%%)",
-				key, b.AllocsPerOp, ref.AllocsPerOp, 100*(allocRatio-1)))
-		}
-		fmt.Printf("%-24s ns/op %11.0f (%+6.1f%%)  allocs/op %5d (%+6.1f%%)  %s\n",
-			key, b.NsPerOp, 100*(nsRatio-1), b.AllocsPerOp, 100*(allocRatio-1), status)
+		fmt.Printf("%-24s ratio %.3f (limit %.3f)  %s\n", "stats-overhead", r, statsOverheadLimit, status)
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {

@@ -6,12 +6,17 @@
 //
 //	lfsim [-tags N] [-rate bps] [-payload-ms ms] [-seed N] [-workers N]
 //	      [-stream] [-block N] [-calib N] [-record FILE] [-replay FILE]
-//	      [-fault SPEC] [-fault-seed N] [-v]
+//	      [-fault SPEC] [-fault-seed N] [-stats] [-v]
 //
 // -fault injects deterministic impairments before decoding, e.g.
 // -fault burst:0.5,dropout:0.3,nonfinite:1 — see internal/fault for
 // the kinds. The decode then demonstrates graceful degradation:
 // dropped spans and per-stream confidence are printed.
+//
+// -stats dumps the pipeline observability counters after the decode —
+// an expvar-style "kind name value" text listing of every stage's
+// metrics (edge disposition, collision groups, Viterbi commits, SIC
+// rounds, drops, pool occupancy, per-stage wall time).
 package main
 
 import (
@@ -40,6 +45,7 @@ func main() {
 	calib := flag.Int64("calib", 32768, "noise-calibration sample budget for -stream (0 defers decoding to end of capture)")
 	faultSpec := flag.String("fault", "", "inject faults before decoding: comma-separated kind:severity list (e.g. burst:0.5,dropout:0.3)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed for the fault injectors (same seed, same spec: byte-identical impairment)")
+	stats := flag.Bool("stats", false, "dump pipeline metrics (expvar-style text) after the decode")
 	flag.Parse()
 
 	var injectors []fault.Injector
@@ -161,6 +167,9 @@ func main() {
 				i, sr.Stream.Source, sr.Stream.Rate, sr.Stream.Offset, len(sr.Bits), sr.Confidence, sr.CRCOK)
 		}
 		reportDropped(res)
+		if *stats {
+			dumpStats(dec)
+		}
 		return
 	}
 
@@ -250,6 +259,18 @@ func main() {
 	}
 	fmt.Printf("aggregate goodput: %.1f kbps of %.1f kbps offered (BER %.4f)\n",
 		score.AggregateBps/1e3, lf.OfferedBps(ep)/1e3, score.BER())
+	if *stats {
+		dumpStats(dec)
+	}
+}
+
+// dumpStats prints the decoder's accumulated pipeline metrics as an
+// expvar-style text listing.
+func dumpStats(dec *lf.Decoder) {
+	fmt.Println("pipeline stats:")
+	if err := dec.Stats().WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
 }
 
 // reportDropped prints the decoder's graceful-degradation bookkeeping:

@@ -1,11 +1,14 @@
 // Command lftrace dumps the raw data series behind the paper's
 // measurement figures as CSV on stdout: the Fig. 1 channel-dynamics
-// traces and the Fig. 4 comparator charging/jitter curves.
+// traces, the Fig. 2 IQ constellations, the Fig. 4 comparator
+// charging/jitter curves, and the Fig. 5 collision lattice.
 //
 // Usage:
 //
 //	lftrace -fig 1 > fig1.csv
+//	lftrace -fig 2 > fig2.csv
 //	lftrace -fig 4 > fig4.csv
+//	lftrace -fig 5 > fig5.csv
 package main
 
 import (

@@ -42,6 +42,60 @@ func TestDecodeDeterminismRepeatable(t *testing.T) {
 	}
 }
 
+// TestStatsDeterminism extends the determinism contract to the
+// observability layer: the decode-class metrics identity must be
+// byte-identical at any Parallelism and, for streaming, at any push
+// block size. Timing and pool-occupancy metrics are runtime-class and
+// excluded from Identity(), so this holds even though wall-clock
+// numbers differ run to run.
+func TestStatsDeterminism(t *testing.T) {
+	ep, cfg := buildEpoch(t, 8, 13)
+
+	statsFor := func(parallelism int) string {
+		t.Helper()
+		c := cfg
+		c.Parallelism = parallelism
+		dec, err := lf.NewDecoder(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.Decode(ep); err != nil {
+			t.Fatal(err)
+		}
+		return dec.Stats().Identity()
+	}
+	want := statsFor(1)
+	for _, p := range []int{2, 4} {
+		if got := statsFor(p); got != want {
+			t.Errorf("stats identity at Parallelism %d diverged from serial:\nwant:\n%s\ngot:\n%s", p, want, got)
+		}
+	}
+
+	samples := ep.Capture.Samples
+	for _, block := range []int{1, 4096, len(samples)} {
+		dec, err := lf.NewDecoder(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, err := dec.NewStream()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lo := 0; lo < len(samples); lo += block {
+			hi := min(lo+block, len(samples))
+			if err := sd.Push(samples[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sd.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if got := sd.Stats().Identity(); got != want {
+			t.Errorf("streaming stats identity at block %d diverged from batch:\nwant:\n%s\ngot:\n%s", block, want, got)
+		}
+	}
+}
+
 func buildEpoch(t *testing.T, tags int, seed int64) (*lf.Epoch, lf.DecoderConfig) {
 	t.Helper()
 	net, err := lf.NewNetwork(lf.NetworkConfig{

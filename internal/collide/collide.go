@@ -15,6 +15,7 @@ import (
 	"math/cmplx"
 
 	"lf/internal/cluster"
+	"lf/internal/obs"
 	"lf/internal/rng"
 )
 
@@ -489,4 +490,24 @@ func MatchVectors(e1, e2, a1, a2 complex128) bool {
 	swapped := math.Min(cmplx.Abs(e1-a2), cmplx.Abs(e1+a2)) +
 		math.Min(cmplx.Abs(e2-a1), cmplx.Abs(e2+a1))
 	return direct <= swapped
+}
+
+// Metrics instruments blind separation. Recorded from the decoder's
+// serial collision-group loop, so the counts are deterministic. The
+// zero value records nothing.
+type Metrics struct {
+	// BlindAttempts counts nine-cluster parallelogram attempts;
+	// BlindDegenerate counts the ones rejected on degenerate geometry.
+	BlindAttempts, BlindDegenerate *obs.Counter
+}
+
+// SeparateBlindWarmObs is SeparateBlindWarm with attempt/outcome
+// instrumentation.
+func SeparateBlindWarmObs(points []complex128, src *rng.Source, w *cluster.Warm, m Metrics) (*Separation, error) {
+	m.BlindAttempts.Inc()
+	s, err := SeparateBlindWarm(points, src, w)
+	if err != nil {
+		m.BlindDegenerate.Inc()
+	}
+	return s, err
 }

@@ -18,6 +18,7 @@ import (
 	"lf/internal/edgedetect"
 	"lf/internal/epc"
 	"lf/internal/iq"
+	"lf/internal/obs"
 	"lf/internal/rng"
 	"lf/internal/streams"
 	"lf/internal/viterbi"
@@ -108,11 +109,33 @@ type Config struct {
 	// Callbacks run on the pushing goroutine; the *StreamResult is the
 	// same object later returned in the Result.
 	OnFrame func(*StreamResult)
+	// Metrics, when non-nil, receives per-stage pipeline counters,
+	// histograms, and timings (see obs.Pipeline for the determinism
+	// contract). nil decodes record nothing and pay one predictable
+	// branch per record site. SIC residual passes always run with nil
+	// Metrics so a recovered stream's internal re-decode never double
+	// counts.
+	Metrics *obs.Pipeline
+	// Tracer, when non-nil, receives structured span events —
+	// calibrate, register, commit, per-frame, sic, flush — emitted on
+	// the pushing goroutine at deterministic points, mirroring OnFrame.
+	// The event sequence is identical at any Parallelism and block
+	// size. SIC residual passes run untraced.
+	Tracer obs.Tracer
 
 	// testStreamHook, when non-nil, runs against each stream result
 	// just before sequence decoding — the seam the quarantine tests use
 	// to poison a single stream's decode.
 	testStreamHook func(*StreamResult)
+}
+
+// metrics returns the configured pipeline or the shared disabled one,
+// so record sites never nil-check the Config field.
+func (cfg *Config) metrics() *obs.Pipeline {
+	if cfg.Metrics != nil {
+		return cfg.Metrics
+	}
+	return obs.Nop()
 }
 
 // DefaultConfig assembles a full-pipeline decoder for captures at the
@@ -256,9 +279,17 @@ func decodeStates(sr *StreamResult, cfg Config, sigma2 float64) {
 		// before the frame, so the implicit previous edge is a
 		// falling one. The windowed recursion bounds survivor-path
 		// state at cfg.ViterbiWindow (0 = viterbi.DefaultWindow).
+		// Commit counters are atomic adds from per-stream decoders on
+		// the worker pool; addition commutes, so totals stay
+		// deterministic.
+		vm := cfg.metrics().Viterbi
 		var margin float64
 		sr.States, margin = viterbi.NewDecoder(0.5, viterbi.Down).
-			DecodeWindowedMargin(emissions, cfg.ViterbiWindow)
+			DecodeWindowedMarginObs(emissions, cfg.ViterbiWindow, viterbi.Metrics{
+				Slots:         vm.Slots,
+				MergeCommits:  vm.MergeCommits,
+				ForcedCommits: vm.ForcedCommits,
+			})
 		if n := len(emissions); n > 0 {
 			margin /= float64(n)
 		}
@@ -441,15 +472,18 @@ func resolveCollisions(results []*StreamResult, cfg Config, src *rng.Source, res
 	// recurring collision pairs present near-identical lattice
 	// populations, so each separation seeds the next.
 	warm := &cluster.Warm{}
+	cm := cfg.metrics().Collide
 	for _, k := range keys {
 		g := groups[k]
 		switch {
 		case len(g.streams) == 2:
 			res.Collisions2++
+			cm.GroupsPair.Inc()
 			separatePair(results, g.streams[0], g.streams[1], g.cls, cfg, src, warm)
 		default:
 			res.Collisions3++
-			separateJoint(results, g.cls)
+			cm.GroupsJoint.Inc()
+			separateJoint(results, g.cls, cm)
 		}
 	}
 }
@@ -491,14 +525,22 @@ func separatePair(results []*StreamResult, sa, sb int, cls []claim, cfg Config, 
 		pairs = append(pairs, pairSlot{ka, kb})
 		points = append(points, a.Slots[ka].Obs)
 	}
+	// Disposition counters fire exactly once per pair group: blind,
+	// anchored, or unresolved (no shared observations, or blind-only
+	// mode with degenerate geometry).
+	cm := cfg.metrics().Collide
 	if len(points) == 0 {
+		cm.PairUnresolved.Inc()
 		return
 	}
 	eA, eB := a.Stream.E, b.Stream.E
 	useBlind := cfg.Separation != SeparationAnchored && len(points) >= cfg.MinBlindPoints
 	var sep *collide.Separation
 	if useBlind {
-		s, err := collide.SeparateBlindWarm(points, src, warm)
+		s, err := collide.SeparateBlindWarmObs(points, src, warm, collide.Metrics{
+			BlindAttempts:   cm.BlindAttempts,
+			BlindDegenerate: cm.BlindDegenerate,
+		})
 		if err == nil {
 			// Align the blind vectors with the preamble anchors so
 			// states are attributed to the right physical stream with
@@ -525,14 +567,18 @@ func separatePair(results []*StreamResult, sa, sb int, cls []claim, cfg Config, 
 			s.E1, s.E2 = e1, e2
 			sep = s
 			a.BlindSeparated, b.BlindSeparated = true, true
+			cm.PairBlind.Inc()
 		}
 	}
 	if sep == nil {
 		if cfg.Separation == SeparationBlind {
+			cm.PairUnresolved.Inc()
 			return // leave unresolved, as the pure-blind mode demands
 		}
 		sep = collide.SeparateAnchored(points, eA, eB)
+		cm.PairAnchored.Inc()
 	}
+	cm.CancelledSlots.Add(int64(2 * len(pairs)))
 	for i, ps := range pairs {
 		st := sep.States[i]
 		d := points[i]
@@ -547,7 +593,7 @@ func separatePair(results []*StreamResult, sa, sb int, cls []claim, cfg Config, 
 
 // separateJoint resolves ≥3-way collisions by joint nearest-lattice
 // classification over all claimants' anchor vectors.
-func separateJoint(results []*StreamResult, cls []claim) {
+func separateJoint(results []*StreamResult, cls []claim, cm obs.CollideMetrics) {
 	byEdge := make(map[int64][]claim)
 	for _, c := range cls {
 		pos := results[c.stream].Slots[c.slot].Pos
@@ -579,6 +625,7 @@ func separateJoint(results []*StreamResult, cls []claim) {
 			results[c.stream].Slots[c.slot].Obs = other
 			results[c.stream].CollidedSlots++
 		}
+		cm.CancelledSlots.Add(int64(len(group)))
 	}
 }
 

@@ -100,7 +100,7 @@ func reconstruct(sr *StreamResult, n int, rampSamples int) []complex128 {
 // residue of an imperfectly cancelled stream otherwise re-registers
 // as a phantom). minE is derived from the original capture's noise
 // floor.
-func cancelAndRetry(capture *iq.Capture, results []*StreamResult, cfg Config, minE float64, workers int) []*StreamResult {
+func cancelAndRetry(capture *iq.Capture, results []*StreamResult, cfg Config, minE float64, workers int, meter *work.Meter) []*StreamResult {
 	n := len(capture.Samples)
 	ramp := int(cfg.Edge.Gap)
 	if ramp < 1 {
@@ -120,12 +120,12 @@ func cancelAndRetry(capture *iq.Capture, results []*StreamResult, cfg Config, mi
 	// subtraction sequence as the serial stream-major loop, so the
 	// residual is bit-identical at any worker count.
 	contribs := make([][]complex128, len(trusted))
-	work.Do(workers, len(trusted), func(i int) {
+	meter.Do(workers, len(trusted), func(i int) {
 		contribs[i] = reconstruct(trusted[i], n, ramp)
 	})
 	residual := pool.Complex(n)
 	copy(residual, capture.Samples)
-	work.DoRanges(workers, n, func(lo, hi int) {
+	meter.DoRanges(workers, n, func(lo, hi int) {
 		for _, contrib := range contribs {
 			for i := lo; i < hi; i++ {
 				residual[i] -= contrib[i]
@@ -138,6 +138,12 @@ func cancelAndRetry(capture *iq.Capture, results []*StreamResult, cfg Config, mi
 	resCap := &iq.Capture{SampleRate: capture.SampleRate, Samples: residual}
 	sub := cfg
 	sub.CancellationRounds = 0
+	// The residual pass is a full inner pipeline run; metering or
+	// tracing it would double-count every stage, so recovered streams
+	// surface only through the SIC counters.
+	sub.Metrics = nil
+	sub.Tracer = nil
+	sub.OnFrame = nil
 	res2, err := Decode(resCap, sub)
 	// The residual pass copies everything it keeps (slot observations,
 	// edge differentials, stream vectors), so the buffer can go back to

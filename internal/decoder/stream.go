@@ -3,9 +3,11 @@ package decoder
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"lf/internal/edgedetect"
 	"lf/internal/iq"
+	"lf/internal/obs"
 	"lf/internal/pool"
 	"lf/internal/rng"
 	"lf/internal/streams"
@@ -57,6 +59,17 @@ type StreamDecoder struct {
 	retain    []complex128 // raw capture, kept only for SIC
 	retainExt bool         // retain aliases caller-owned samples (batch path)
 
+	// Observability. m is never nil (the shared Nop pipeline when
+	// cfg.Metrics is nil); meter is nil when metrics are disabled so
+	// the pool helpers delegate straight through; timed gates the
+	// clock reads (wall time is measurement only, never a decode
+	// input).
+	m           *obs.Pipeline
+	meter       *work.Meter
+	tracer      obs.Tracer
+	timed       bool
+	calibTraced bool
+
 	res  *Result
 	err  error
 	done bool
@@ -77,7 +90,15 @@ func NewStreamDecoder(sampleRate float64, cfg Config) (*StreamDecoder, error) {
 	if cfg.ForceDenseSweep {
 		ecfg.DenseSweep = true
 	}
-	det, err := edgedetect.NewStream(edgedetect.StreamConfig{Config: ecfg, CalibSamples: cfg.CalibSamples})
+	m := cfg.metrics()
+	var meter *work.Meter
+	if m.Registry != nil {
+		meter = &work.Meter{Batches: m.Work.Batches, Tasks: m.Work.Tasks, Occupancy: m.Work.Occupancy}
+	}
+	det, err := edgedetect.NewStream(edgedetect.StreamConfig{
+		Config: ecfg, CalibSamples: cfg.CalibSamples,
+		Metrics: m.Edge, Meter: meter,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -88,8 +109,32 @@ func NewStreamDecoder(sampleRate float64, cfg Config) (*StreamDecoder, error) {
 		det:        det,
 		src:        rng.New(cfg.Seed),
 		regCut:     streams.RegistrationHorizon(cfg.Streams, cfg.PayloadBits),
+		m:          m,
+		meter:      meter,
+		tracer:     cfg.Tracer,
+		timed:      m.Registry != nil,
 		res:        &Result{},
 	}, nil
+}
+
+// Stats snapshots the decoder's pipeline metrics so far (empty when
+// Config.Metrics is nil).
+func (sd *StreamDecoder) Stats() *obs.Snapshot { return sd.m.Snapshot() }
+
+// now reads the clock only when stage timing is enabled, so the
+// uninstrumented hot path never syscalls.
+func (sd *StreamDecoder) now() time.Time {
+	if !sd.timed {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observe records elapsed wall time against t when timing is enabled.
+func (sd *StreamDecoder) observe(t *obs.Timing, t0 time.Time) {
+	if sd.timed {
+		t.Observe(time.Since(t0))
+	}
 }
 
 // Push feeds one block of IQ samples and advances every pipeline stage
@@ -101,6 +146,7 @@ func (sd *StreamDecoder) Push(block []complex128) error {
 	if sd.done {
 		return errAt(StageInput, -1, errors.New("decoder: push after flush"))
 	}
+	t0 := sd.now()
 	if sd.cfg.CancellationRounds > 0 && !sd.retainExt {
 		if sd.retain == nil {
 			sd.retain = pool.Complex(0)
@@ -112,6 +158,7 @@ func (sd *StreamDecoder) Push(block []complex128) error {
 		return sd.err
 	}
 	sd.pump()
+	sd.observe(sd.m.Stage.Push, t0)
 	return sd.err
 }
 
@@ -125,6 +172,7 @@ func (sd *StreamDecoder) Flush() (*Result, error) {
 	if sd.done {
 		return sd.res, nil
 	}
+	t0 := sd.now()
 	if err := sd.det.Close(); err != nil {
 		sd.err = errAt(StageInput, sd.det.Front(), err)
 		return nil, sd.err
@@ -134,6 +182,7 @@ func (sd *StreamDecoder) Flush() (*Result, error) {
 		return nil, sd.err
 	}
 	if sd.cfg.CancellationRounds > 0 {
+		tc := sd.now()
 		// A panic inside cancellation quarantines the whole SIC stage:
 		// the already-committed first-pass frames are kept and the
 		// failure is recorded as a capture-level drop.
@@ -147,14 +196,22 @@ func (sd *StreamDecoder) Flush() (*Result, error) {
 			capture := &iq.Capture{SampleRate: sd.sampleRate, Samples: sd.retain}
 			minRecoverE := 3 * sd.det.NoiseFloor()
 			for round := 0; round < sd.cfg.CancellationRounds; round++ {
-				fresh := cancelAndRetry(capture, sd.results, sd.cfg, minRecoverE, sd.workers)
+				sd.m.SIC.Rounds.Inc()
+				sd.m.SIC.ResidualDecodes.Inc()
+				fresh := cancelAndRetry(capture, sd.results, sd.cfg, minRecoverE, sd.workers, sd.meter)
+				if sd.tracer != nil {
+					sd.tracer.Trace(obs.SpanEvent{Stage: "sic", Stream: -1,
+						Pos: sd.det.Front(), N: int64(len(fresh))})
+				}
 				if len(fresh) == 0 {
 					break
 				}
+				sd.m.SIC.Recovered.Add(int64(len(fresh)))
 				sd.results = append(sd.results, fresh...)
 				sd.res.RecoveredStreams += len(fresh)
 			}
 		}()
+		sd.observe(sd.m.Stage.Cancel, tc)
 	}
 	sd.emitFrames()
 	sd.res.Streams = sd.results
@@ -165,13 +222,90 @@ func (sd *StreamDecoder) Flush() (*Result, error) {
 			Lo: sp.Lo, Hi: sp.Hi, Detail: "non-finite samples replaced; detection windows blanked"})
 	}
 	sd.res.Dropped = append(sd.res.Dropped, sd.drops...)
+	sd.recordFinal()
+	if sd.tracer != nil {
+		sd.tracer.Trace(obs.SpanEvent{Stage: "flush", Stream: -1,
+			Pos: sd.det.Front(), N: int64(len(sd.res.Streams))})
+	}
 	sd.det.Release()
 	if !sd.retainExt {
 		pool.PutComplex(sd.retain)
 		sd.retain = nil
 	}
 	sd.done = true
+	sd.observe(sd.m.Stage.Flush, t0)
 	return sd.res, nil
+}
+
+// recordFinal folds the committed result into the flush-time metrics:
+// frame disposition, slot-kind partition, edge claims, and drop
+// accounting. Runs serially on the flushing goroutine in result order,
+// so every total is deterministic by construction.
+func (sd *StreamDecoder) recordFinal() {
+	m := sd.m
+	if m.Registry == nil {
+		return
+	}
+	for _, sr := range sd.res.Streams {
+		m.Frames.Committed.Inc()
+		if sr.CRCOK {
+			m.Frames.CRCOK.Inc()
+		} else {
+			m.Frames.CRCFail.Inc()
+		}
+		if sr.Recovered {
+			m.Frames.Recovered.Inc()
+		}
+		m.Frames.Confidence.Observe(sr.Confidence)
+		if sd.cfg.Stages.ErrorCorrection {
+			m.Viterbi.PathMargin.Observe(sr.PathMargin)
+		}
+		m.Walk.Slots.Add(int64(len(sr.Slots)))
+		for _, slot := range sr.Slots {
+			switch slot.Kind {
+			case streams.MatchClean:
+				m.Walk.Clean.Inc()
+			case streams.MatchForeign:
+				m.Walk.Foreign.Inc()
+			default:
+				m.Walk.Empty.Inc()
+			}
+		}
+	}
+	// Edge disposition: an edge is claimed when a committed first-pass
+	// stream slot references it. SIC-recovered streams index a residual
+	// capture's own edge list and are excluded.
+	claimed := make(map[int]bool)
+	for _, sr := range sd.res.Streams {
+		if sr.Recovered {
+			continue
+		}
+		for _, slot := range sr.Slots {
+			if slot.EdgeIdx >= 0 {
+				claimed[slot.EdgeIdx] = true
+			}
+		}
+	}
+	nc := int64(len(claimed))
+	if total := int64(sd.res.EdgeCount); nc > total {
+		nc = total
+	}
+	m.Edge.Claimed.Add(nc)
+	m.Edge.Unclaimed.Add(int64(sd.res.EdgeCount) - nc)
+	for _, d := range sd.res.Dropped {
+		m.Drops.Events.Inc()
+		switch d.Reason {
+		case DropNonFinite:
+			m.Drops.NonFinite.Inc()
+		case DropPanic:
+			m.Drops.Panics.Inc()
+		case DropTruncated:
+			m.Drops.Truncated.Inc()
+		}
+		if d.Lo >= 0 && d.Hi > d.Lo {
+			m.Drops.SpanSamples.Add(d.Hi - d.Lo)
+		}
+	}
 }
 
 // RetainedBytes reports the sample-proportional memory currently held:
@@ -190,6 +324,17 @@ func (sd *StreamDecoder) RetainedBytes() int64 {
 // detector's finalized-edge front allows, then slides the detector's
 // sample window past everything no stage can still read.
 func (sd *StreamDecoder) pump() {
+	if sd.tracer != nil && !sd.calibTraced && sd.det.Calibrated() {
+		sd.calibTraced = true
+		// Pos is the configured calibration prefix — or the full
+		// capture length when calibration deferred to Close — so the
+		// event content is block-size independent.
+		pos := sd.cfg.CalibSamples
+		if pos <= 0 || sd.det.Closed() {
+			pos = sd.det.Front()
+		}
+		sd.tracer.Trace(obs.SpanEvent{Stage: "calibrate", Stream: -1, Pos: pos})
+	}
 	if !sd.registered {
 		if sd.det.EdgeComplete() < sd.regCut && !sd.det.Closed() {
 			return
@@ -216,6 +361,9 @@ func (sd *StreamDecoder) register() {
 		return
 	}
 	sd.registered = true
+	if sd.tracer != nil {
+		sd.tracer.Trace(obs.SpanEvent{Stage: "register", Stream: -1, Pos: sd.regCut, N: int64(len(sts))})
+	}
 	sd.walkers = make([]*streams.Walker, len(sts))
 	sd.results = make([]*StreamResult, len(sts))
 	sd.quarantined = make([]string, len(sts))
@@ -280,6 +428,7 @@ func (sd *StreamDecoder) maybeCommit() {
 	if !sd.det.Closed() && (sd.det.EdgeComplete() < sd.commitCut || sd.det.Front() < sd.commitCut) {
 		return
 	}
+	t0 := sd.now()
 	// Quarantined streams drop out here; the healthy rest of the epoch
 	// commits normally.
 	results := make([]*StreamResult, 0, len(sd.results))
@@ -302,7 +451,7 @@ func (sd *StreamDecoder) maybeCommit() {
 			splitSrcs[i] = sd.src.Split(fmt.Sprintf("split/%d", i))
 		}
 		others := make([]*StreamResult, len(snapshot))
-		errs := work.DoRecover(sd.workers, len(snapshot), func(i int) {
+		errs := sd.meter.DoRecover(sd.workers, len(snapshot), func(i int) {
 			if other, ok := trySplit(snapshot[i], sd.det, sd.cfg, splitSrcs[i]); ok {
 				others[i] = other
 			}
@@ -325,6 +474,7 @@ func (sd *StreamDecoder) maybeCommit() {
 			if other != nil {
 				results = append(results, other)
 				sd.res.MergedSplits++
+				sd.m.Frames.MergedSplits.Inc()
 			}
 		}
 		// Collision resolution is cross-stream; a panic there degrades
@@ -341,7 +491,7 @@ func (sd *StreamDecoder) maybeCommit() {
 		}()
 	}
 	sigma2 := obsNoiseVariance(sd.det.NoiseFloor())
-	errs := work.DoRecover(sd.workers, len(results), func(i int) {
+	errs := sd.meter.DoRecover(sd.workers, len(results), func(i int) {
 		if hook := sd.cfg.testStreamHook; hook != nil {
 			hook(results[i])
 		}
@@ -365,6 +515,10 @@ func (sd *StreamDecoder) maybeCommit() {
 	// window (cancellation works on its own raw-capture copy), so a
 	// trySplit pin no longer blocks the window from sliding.
 	sd.pinned = false
+	sd.observe(sd.m.Stage.Commit, t0)
+	if sd.tracer != nil {
+		sd.tracer.Trace(obs.SpanEvent{Stage: "commit", Stream: -1, Pos: sd.commitCut, N: int64(len(sd.results))})
+	}
 	sd.emitFrames()
 }
 
@@ -374,6 +528,7 @@ func (sd *StreamDecoder) dropStream(sr *StreamResult, detail string) {
 	if sr.Stream != nil {
 		id = sr.Stream.ID
 	}
+	sd.m.Frames.Quarantined.Inc()
 	sd.drops = append(sd.drops, Dropped{Stream: id, Reason: DropPanic, Lo: -1, Hi: -1, Detail: detail})
 }
 
@@ -405,15 +560,22 @@ func (sd *StreamDecoder) markTruncated(results []*StreamResult) {
 	}
 }
 
-// emitFrames delivers newly committed frames through OnFrame, in
-// result order.
+// emitFrames delivers newly committed frames through OnFrame (and the
+// tracer), in result order.
 func (sd *StreamDecoder) emitFrames() {
-	if sd.cfg.OnFrame == nil {
+	if sd.cfg.OnFrame == nil && sd.tracer == nil {
 		sd.emitted = len(sd.results)
 		return
 	}
 	for ; sd.emitted < len(sd.results); sd.emitted++ {
-		sd.cfg.OnFrame(sd.results[sd.emitted])
+		sr := sd.results[sd.emitted]
+		if sd.tracer != nil {
+			sd.tracer.Trace(obs.SpanEvent{Stage: "frame", Stream: sr.Stream.ID,
+				Pos: int64(sr.Stream.Offset), N: int64(len(sr.Bits))})
+		}
+		if sd.cfg.OnFrame != nil {
+			sd.cfg.OnFrame(sr)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"lf/internal/dsp"
+	"lf/internal/obs"
 	"lf/internal/pool"
 	"lf/internal/work"
 )
@@ -20,6 +21,15 @@ type StreamConfig struct {
 	// threshold over the whole capture — the batch semantics, which
 	// necessarily retains the whole magnitude series until Close.
 	CalibSamples int64
+	// Metrics, when populated, receives stage counters (raw peaks,
+	// NMS outcomes, groups, edges, dropped samples). Every counter is
+	// recorded from the detector's serial stages — never from inside
+	// the parallel sweep kernels — so the counts are a pure function
+	// of the sample sequence. The zero value records nothing.
+	Metrics obs.EdgeMetrics
+	// Meter, when non-nil, meters the differential sweep's worker-pool
+	// dispatch (runtime-class; see work.Meter).
+	Meter *work.Meter
 }
 
 // Stream is an incremental edge detector: IQ samples are pushed in
@@ -42,6 +52,8 @@ type Stream struct {
 	cfg     Config
 	calib   int64
 	workers int
+	em      obs.EdgeMetrics
+	meter   *work.Meter
 
 	// From-origin prefix sums of the pushed samples, split into
 	// structure-of-arrays real/imaginary components so the differential
@@ -116,7 +128,8 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 	if cfg.CalibSamples < 0 {
 		return nil, fmt.Errorf("edgedetect: negative CalibSamples %d", cfg.CalibSamples)
 	}
-	s := &Stream{cfg: cfg.Config, calib: cfg.CalibSamples, workers: work.Resolve(cfg.Parallelism)}
+	s := &Stream{cfg: cfg.Config, calib: cfg.CalibSamples, workers: work.Resolve(cfg.Parallelism),
+		em: cfg.Metrics, meter: cfg.Meter}
 	s.sumsRe = append(pool.Float(0), 0)
 	s.sumsIm = append(pool.Float(0), 0)
 	s.mag = pool.Float(0)
@@ -164,6 +177,7 @@ func (s *Stream) Push(block []complex128) error {
 	for i, v := range block {
 		if !sampleOK(v) {
 			s.noteDrop(s.front + int64(i))
+			s.em.DropSamples.Inc()
 			v = s.lastFinite
 		} else {
 			s.lastFinite = v
@@ -438,7 +452,7 @@ func (s *Stream) advance() {
 		s.mag = extendFloats(s.mag, count)
 		limit := s.limit()
 		intLo, intHi := margin, limit-margin
-		work.DoRanges(s.workers, count, func(clo, chi int) {
+		s.meter.DoRanges(s.workers, count, func(clo, chi int) {
 			plo, phi := lo+int64(clo), lo+int64(chi)
 			ilo := max(plo, intLo)
 			ihi := min(phi, intHi)
@@ -509,6 +523,7 @@ func (s *Stream) advance() {
 	}
 	if scanHi > s.scanned {
 		limit := s.limit()
+		rawBefore := len(s.raw)
 		for i := s.scanned; i < scanHi; i++ {
 			v := s.magAt(i)
 			if v < s.threshold {
@@ -525,6 +540,7 @@ func (s *Stream) advance() {
 			}
 			s.raw = append(s.raw, dsp.Peak{Pos: i, Value: v})
 		}
+		s.em.RawPeaks.Add(int64(len(s.raw) - rawBefore))
 		s.scanned = scanHi
 	}
 
@@ -574,8 +590,12 @@ func (s *Stream) flushPeaks() {
 		return
 	}
 	kept := s.suppressChunk(s.raw[:flushN])
+	s.em.Kept.Add(int64(len(kept)))
+	s.em.Suppressed.Add(int64(flushN - len(kept)))
 	s.centroid(kept)
+	groupsBefore := len(s.groups)
 	s.groups = coalesceInto(s.groups, kept, s.cfg.CoalesceDist)
+	s.em.Groups.Add(int64(len(s.groups) - groupsBefore))
 	s.raw = append(s.raw[:0], s.raw[flushN:]...)
 }
 
@@ -625,6 +645,7 @@ func (s *Stream) centroid(peaks []dsp.Peak) {
 // wide whether refinement happens now or at Close — the choice of
 // flush moment never changes the refined value.
 func (s *Stream) finalizeGroups() {
+	edgesBefore := len(s.edges)
 	for s.ghead < len(s.groups) {
 		g := s.groups[s.ghead]
 		after := s.cfg.MaxWin
@@ -659,6 +680,7 @@ func (s *Stream) finalizeGroups() {
 		s.prevLast, s.havePrev = g.last, true
 		s.ghead++
 	}
+	s.em.Edges.Add(int64(len(s.edges) - edgesBefore))
 	if s.ghead > 64 && s.ghead*2 >= len(s.groups) {
 		s.groups = append(s.groups[:0], s.groups[s.ghead:]...)
 		s.ghead = 0

@@ -42,7 +42,10 @@ const ioChunkSamples = 4096
 // WriteTo serializes the capture. It returns the number of bytes
 // written.
 func (c *Capture) WriteTo(w io.Writer) (int64, error) {
-	if err := c.Validate(); err != nil {
+	// Structural check only: non-finite samples are recordable on
+	// purpose, so faulted captures replay through the same graceful
+	// degradation as a live decode (see Capture.ValidateStructure).
+	if err := c.ValidateStructure(); err != nil {
 		return 0, err
 	}
 	bw := bufio.NewWriter(w)
@@ -109,7 +112,7 @@ func ReadCapture(r io.Reader) (*Capture, error) {
 	if _, err := br.Read(c.Samples); err != nil {
 		return nil, err
 	}
-	if err := c.Validate(); err != nil {
+	if err := c.ValidateStructure(); err != nil {
 		return nil, err
 	}
 	return c, nil

@@ -77,18 +77,32 @@ func (c *Capture) Mean(lo, hi int64) complex128 {
 	return sum / complex(float64(len(s)), 0)
 }
 
-// Validate reports whether the capture is internally consistent.
+// Validate reports whether the capture is internally consistent,
+// including that every sample is finite (what a correctly working
+// synthesizer or front end produces).
 func (c *Capture) Validate() error {
-	if c.SampleRate <= 0 {
-		return errors.New("iq: capture has non-positive sample rate")
-	}
-	if len(c.Samples) == 0 {
-		return errors.New("iq: capture has no samples")
+	if err := c.ValidateStructure(); err != nil {
+		return err
 	}
 	for i, v := range c.Samples {
 		if cmplx.IsNaN(v) || cmplx.IsInf(v) {
 			return fmt.Errorf("iq: sample %d is not finite", i)
 		}
+	}
+	return nil
+}
+
+// ValidateStructure checks only the structural invariants — positive
+// sample rate, non-empty samples — without requiring finite values.
+// The container IO uses it so impaired captures (an SDR DMA glitch, a
+// fault-injection run) can be recorded and replayed: the decoder
+// degrades non-finite spans gracefully rather than rejecting them.
+func (c *Capture) ValidateStructure() error {
+	if c.SampleRate <= 0 {
+		return errors.New("iq: capture has non-positive sample rate")
+	}
+	if len(c.Samples) == 0 {
+		return errors.New("iq: capture has no samples")
 	}
 	return nil
 }

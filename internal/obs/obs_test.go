@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Load() != 0 {
+		t.Fatal("nil counter loaded non-zero")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Max(9)
+	if g.Load() != 0 {
+		t.Fatal("nil gauge loaded non-zero")
+	}
+	var h *Histogram
+	h.Observe(1.5)
+	var tm *Timing
+	tm.Observe(time.Second)
+	var r *Registry
+	if r.Counter("x", ClassDecode) != nil {
+		t.Fatal("nil registry returned a live counter")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || s.Identity() != "" {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count", ClassDecode)
+	g := r.Gauge("a.level", ClassRuntime)
+	h := r.Histogram("a.dist", ClassDecode, []float64{1, 10})
+	c.Add(3)
+	c.Inc()
+	g.Max(4)
+	g.Max(2)
+	h.Observe(0.5)  // bucket 0
+	h.Observe(1.0)  // bucket 0 (<= bound)
+	h.Observe(5)    // bucket 1
+	h.Observe(1000) // overflow
+	s := r.Snapshot()
+	if got := s.Counter("a.count"); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if got := s.Gauges["a.level"]; got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	hs := s.Histograms["a.dist"]
+	if hs.Count != 4 || hs.Buckets[0] != 2 || hs.Buckets[1] != 1 || hs.Buckets[2] != 1 {
+		t.Fatalf("histogram snapshot %+v", hs)
+	}
+	if want := int64(1006.5 * 1e6); hs.SumMicro != want {
+		t.Fatalf("sum_micro = %d, want %d", hs.SumMicro, want)
+	}
+	if mean := hs.Mean(); mean < 251.6 || mean > 251.7 {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+// TestHistogramSumCommutes pins the fixed-point design: concurrent
+// observation order cannot change the sum, because each observation is
+// rounded to integer micro-units before the atomic add.
+func TestHistogramSumCommutes(t *testing.T) {
+	vals := []float64{0.1, 0.2, 0.3, 1.7, 2.9, 0.0001, 123.456}
+	serial := newHistogram([]float64{1})
+	for _, v := range vals {
+		serial.Observe(v)
+	}
+	for trial := 0; trial < 8; trial++ {
+		h := newHistogram([]float64{1})
+		var wg sync.WaitGroup
+		for _, v := range vals {
+			wg.Add(1)
+			go func(v float64) {
+				defer wg.Done()
+				h.Observe(v)
+			}(v)
+		}
+		wg.Wait()
+		if h.sumMicro.Load() != serial.sumMicro.Load() {
+			t.Fatalf("concurrent sum %d != serial %d", h.sumMicro.Load(), serial.sumMicro.Load())
+		}
+	}
+}
+
+func TestIdentityExcludesRuntime(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("decode.n", ClassDecode).Add(7)
+	r.Counter("work.batches", ClassRuntime).Add(99)
+	r.Gauge("work.occupancy", ClassRuntime).Max(8)
+	r.Timing("stage.push_ns").Observe(time.Millisecond)
+	s := r.Snapshot()
+	id := s.Identity()
+	if !strings.Contains(id, "decode.n 7") {
+		t.Fatalf("identity missing decode counter:\n%s", id)
+	}
+	for _, banned := range []string{"work.batches", "work.occupancy", "stage.push_ns"} {
+		if strings.Contains(id, banned) {
+			t.Fatalf("identity leaked runtime metric %s:\n%s", banned, id)
+		}
+	}
+	var full strings.Builder
+	if err := s.WriteText(&full); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"counter decode.n 7", "counter work.batches 99", "gauge work.occupancy 8", "timing stage.push_ns"} {
+		if !strings.Contains(full.String(), want) {
+			t.Fatalf("WriteText missing %q:\n%s", want, full.String())
+		}
+	}
+}
+
+func TestSnapshotAdd(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("n", ClassDecode).Add(2)
+	r1.Gauge("g", ClassRuntime).Max(5)
+	r1.Histogram("h", ClassDecode, []float64{1}).Observe(0.5)
+	r2 := NewRegistry()
+	r2.Counter("n", ClassDecode).Add(3)
+	r2.Gauge("g", ClassRuntime).Max(4)
+	r2.Histogram("h", ClassDecode, []float64{1}).Observe(2)
+	s := r1.Snapshot()
+	s.Add(r2.Snapshot())
+	if s.Counter("n") != 5 {
+		t.Fatalf("added counter = %d, want 5", s.Counter("n"))
+	}
+	if s.Gauges["g"] != 5 {
+		t.Fatalf("added gauge = %d, want max 5", s.Gauges["g"])
+	}
+	hs := s.Histograms["h"]
+	if hs.Count != 2 || hs.Buckets[0] != 1 || hs.Buckets[1] != 1 {
+		t.Fatalf("added histogram %+v", hs)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", ClassDecode)
+	r.Counter("x", ClassDecode)
+}
+
+func TestPipelineDisabled(t *testing.T) {
+	p := Nop()
+	p.Edge.RawPeaks.Inc()
+	p.Frames.Confidence.Observe(0.5)
+	p.Stage.Push.Observe(time.Millisecond)
+	s := p.Snapshot()
+	if len(s.Counters) != 0 {
+		t.Fatal("disabled pipeline recorded something")
+	}
+	live := NewPipeline()
+	live.Edge.RawPeaks.Add(2)
+	if got := live.Snapshot().Counter("edge.raw_peaks"); got != 2 {
+		t.Fatalf("live pipeline counter = %d, want 2", got)
+	}
+}

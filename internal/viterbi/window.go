@@ -1,5 +1,20 @@
 package viterbi
 
+import "lf/internal/obs"
+
+// Metrics instruments the windowed recursion. Commit counters are
+// recorded once per window commit — a function of the emission
+// sequence alone — so totals stay deterministic even when per-stream
+// decoders run on a worker pool (atomic addition commutes). The zero
+// value records nothing.
+type Metrics struct {
+	// Slots counts trellis steps pushed.
+	Slots *obs.Counter
+	// MergeCommits counts commits where every live survivor chain
+	// agreed (exact); ForcedCommits counts truncations at window depth.
+	MergeCommits, ForcedCommits *obs.Counter
+}
+
 // Windowed is an online Viterbi decoder over the same 4-state edge
 // trellis as Decoder, holding survivor-path state for at most a fixed
 // window of trellis steps. Emissions are pushed one slot at a time;
@@ -24,6 +39,7 @@ type Windowed struct {
 	n    int // emissions pushed
 	base int // states [0, base) are committed
 	out  []State
+	m    Metrics
 }
 
 // DefaultWindow is the trellis window used when a caller passes 0: deep
@@ -143,8 +159,10 @@ func (v *Windowed) commit(all bool) {
 	case all:
 		v.emit(hi, bestEnd)
 	case merged >= 0:
+		v.m.MergeCommits.Inc()
 		v.emit(merged, cur[0])
 	default:
+		v.m.ForcedCommits.Inc()
 		// Forced truncation: no merge within a full window. Commit the
 		// oldest half along the current best chain, then pin future
 		// paths to the seam: any end whose survivor chain does not pass
@@ -225,10 +243,18 @@ func (d *Decoder) DecodeWindowed(emissions []Emission, window int) []State {
 // DecodeWindowedMargin is DecodeWindowed plus the final path margin
 // (see Windowed.Margin), for per-frame confidence scoring.
 func (d *Decoder) DecodeWindowedMargin(emissions []Emission, window int) ([]State, float64) {
+	return d.DecodeWindowedMarginObs(emissions, window, Metrics{})
+}
+
+// DecodeWindowedMarginObs is DecodeWindowedMargin with pipeline
+// instrumentation (slot and window-commit counters).
+func (d *Decoder) DecodeWindowedMarginObs(emissions []Emission, window int, m Metrics) ([]State, float64) {
 	if len(emissions) == 0 {
 		return nil, 0
 	}
 	v := NewWindowed(d, window)
+	v.m = m
+	m.Slots.Add(int64(len(emissions)))
 	for _, e := range emissions {
 		v.Push(e)
 	}

@@ -12,6 +12,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"lf/internal/obs"
 )
 
 // Resolve maps a parallelism knob to a concrete worker count:
@@ -147,4 +149,54 @@ func DoRanges(workers, n int, fn func(lo, hi int)) {
 	Do(Resolve(workers), len(bounds)-1, func(c int) {
 		fn(bounds[c], bounds[c+1])
 	})
+}
+
+// Meter wraps the pool helpers with pipeline metrics. All three fields
+// are ClassRuntime by design — batch counts, task counts, and occupancy
+// depend on the worker count and chunking, which vary with Parallelism
+// — so metered totals never enter the decode identity. A nil *Meter
+// delegates straight through with zero overhead.
+type Meter struct {
+	// Batches counts pool invocations; Tasks counts the work items
+	// dispatched across them.
+	Batches, Tasks *obs.Counter
+	// Occupancy tracks the high-water effective worker count
+	// (min(workers, items) per invocation).
+	Occupancy *obs.Gauge
+}
+
+func (m *Meter) note(workers, n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.Batches.Inc()
+	m.Tasks.Add(int64(n))
+	w := Resolve(workers)
+	if w > n {
+		w = n
+	}
+	m.Occupancy.Max(int64(w))
+}
+
+// Do is work.Do with pool metering.
+func (m *Meter) Do(workers, n int, fn func(i int)) {
+	m.note(workers, n)
+	Do(workers, n, fn)
+}
+
+// DoRecover is work.DoRecover with pool metering.
+func (m *Meter) DoRecover(workers, n int, fn func(i int)) []error {
+	m.note(workers, n)
+	return DoRecover(workers, n, fn)
+}
+
+// DoRanges is work.DoRanges with pool metering; Tasks counts the
+// deterministic chunks handed to workers.
+func (m *Meter) DoRanges(workers, n int, fn func(lo, hi int)) {
+	if m != nil {
+		if b := Bounds(workers, n); len(b) >= 2 {
+			m.note(workers, len(b)-1)
+		}
+	}
+	DoRanges(workers, n, fn)
 }

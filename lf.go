@@ -32,10 +32,12 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 
 	"lf/internal/channel"
 	"lf/internal/decoder"
 	"lf/internal/iq"
+	"lf/internal/obs"
 	"lf/internal/reader"
 	"lf/internal/rng"
 	"lf/internal/streams"
@@ -350,7 +352,29 @@ type DecoderConfig struct {
 	// before end of capture. Frames arrive in Result.Streams order, on
 	// the goroutine calling Push/Flush/Decode.
 	OnFrame func(*StreamResult)
+	// NoStats disables pipeline metrics entirely: Stats() returns empty
+	// snapshots and every record site collapses to a nil-metric branch.
+	// The default (instrumented) decode is bit-identical to the
+	// uninstrumented one — metrics observe the pipeline, never steer it.
+	NoStats bool
+	// Tracer, when non-nil, receives per-stage span events (calibrate,
+	// register, commit, frame, sic, flush) on the goroutine calling
+	// Push/Flush/Decode, mirroring OnFrame. The event sequence is
+	// identical at any Parallelism and push block size.
+	Tracer Tracer
 }
+
+// Stats is a frozen snapshot of the decode pipeline's metrics. The
+// decode-class counters and histograms in it are bit-identical at any
+// Parallelism and push blocking (see Identity); timings and
+// runtime-class entries are measurement only.
+type Stats = obs.Snapshot
+
+// Tracer receives per-stage span events from a decode.
+type Tracer = obs.Tracer
+
+// SpanEvent is one traced pipeline event.
+type SpanEvent = obs.SpanEvent
 
 // Stage toggles and separation modes re-exported for callers.
 type Stages = decoder.Stages
@@ -377,7 +401,13 @@ const (
 
 // Decoder decodes captured epochs.
 type Decoder struct {
-	cfg decoder.Config
+	cfg     decoder.Config
+	noStats bool
+
+	// mu guards agg, the metrics accumulated over every decode this
+	// Decoder has completed (streaming flushes included).
+	mu  sync.Mutex
+	agg *obs.Snapshot
 }
 
 // Result is a decoded epoch.
@@ -440,6 +470,7 @@ func NewDecoder(cfg DecoderConfig) (*Decoder, error) {
 	dc.ViterbiWindow = cfg.ViterbiWindow
 	dc.ForceDenseSweep = cfg.ForceDenseSweep
 	dc.OnFrame = cfg.OnFrame
+	dc.Tracer = cfg.Tracer
 	if cfg.CancellationRounds != 0 {
 		dc.CancellationRounds = cfg.CancellationRounds
 		if dc.CancellationRounds < 0 {
@@ -449,7 +480,48 @@ func NewDecoder(cfg DecoderConfig) (*Decoder, error) {
 	if cfg.Seed != 0 {
 		dc.Seed = cfg.Seed
 	}
-	return &Decoder{cfg: dc}, nil
+	return &Decoder{cfg: dc, noStats: cfg.NoStats}, nil
+}
+
+// decodeConfig returns a per-decode config copy carrying a fresh
+// metrics pipeline (nil when NoStats), so concurrent decodes from one
+// Decoder never share hot counters.
+func (d *Decoder) decodeConfig() (decoder.Config, *obs.Pipeline) {
+	cfg := d.cfg
+	if d.noStats {
+		return cfg, nil
+	}
+	p := obs.NewPipeline()
+	cfg.Metrics = p
+	return cfg, p
+}
+
+// accumulate folds one completed decode's metrics into the decoder's
+// running totals.
+func (d *Decoder) accumulate(p *obs.Pipeline) {
+	if p == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.agg == nil {
+		d.agg = obs.NewSnapshot()
+	}
+	d.agg.Add(p.Snapshot())
+}
+
+// Stats snapshots the metrics accumulated over every decode this
+// Decoder has completed: counters and histogram buckets sum across
+// decodes, gauges keep their high-water values. Empty when
+// DecoderConfig.NoStats is set or nothing has completed yet. The
+// decode-class portion (Stats.Identity) is bit-identical at any
+// Parallelism and push blocking.
+func (d *Decoder) Stats() *Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := obs.NewSnapshot()
+	s.Add(d.agg)
+	return s
 }
 
 // StreamDecoder decodes a capture pushed in arbitrary sample blocks,
@@ -458,18 +530,22 @@ func NewDecoder(cfg DecoderConfig) (*Decoder, error) {
 // cancellation to get the bound). The result returned by Flush is
 // bit-identical to Decode over the same samples at any blocking.
 type StreamDecoder struct {
-	sd *decoder.StreamDecoder
+	sd  *decoder.StreamDecoder
+	d   *Decoder
+	p   *obs.Pipeline
+	acc bool
 }
 
 // NewStream starts a streaming decode of one capture. Push sample
 // blocks as they arrive, then Flush for the final result; decoded
 // frames surface through DecoderConfig.OnFrame as they commit.
 func (d *Decoder) NewStream() (*StreamDecoder, error) {
-	sd, err := decoder.NewStreamDecoder(d.cfg.Streams.SampleRate, d.cfg)
+	cfg, p := d.decodeConfig()
+	sd, err := decoder.NewStreamDecoder(d.cfg.Streams.SampleRate, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &StreamDecoder{sd: sd}, nil
+	return &StreamDecoder{sd: sd, d: d, p: p}, nil
 }
 
 // Push feeds one block of IQ samples.
@@ -477,7 +553,18 @@ func (s *StreamDecoder) Push(block []complex128) error { return s.sd.Push(block)
 
 // Flush marks end of capture, drains the pipeline, and returns the
 // final result.
-func (s *StreamDecoder) Flush() (*Result, error) { return s.sd.Flush() }
+func (s *StreamDecoder) Flush() (*Result, error) {
+	res, err := s.sd.Flush()
+	if err == nil && !s.acc {
+		s.acc = true
+		s.d.accumulate(s.p)
+	}
+	return res, err
+}
+
+// Stats snapshots this stream's pipeline metrics so far — safe to call
+// mid-decode between pushes. Empty when DecoderConfig.NoStats is set.
+func (s *StreamDecoder) Stats() *Stats { return s.sd.Stats() }
 
 // RetainedBytes reports the sample-proportional memory the decode
 // currently holds — the observable the streaming memory bound is
@@ -486,13 +573,18 @@ func (s *StreamDecoder) RetainedBytes() int64 { return s.sd.RetainedBytes() }
 
 // Decode runs the pipeline over one epoch's capture.
 func (d *Decoder) Decode(ep *Epoch) (*Result, error) {
-	return decoder.Decode(ep.Capture, d.cfg)
+	return d.DecodeCapture(ep.Capture)
 }
 
 // DecodeCapture runs the pipeline over a raw capture (for captures
 // that did not come from the simulator).
 func (d *Decoder) DecodeCapture(capture *iq.Capture) (*Result, error) {
-	return decoder.Decode(capture, d.cfg)
+	cfg, p := d.decodeConfig()
+	res, err := decoder.Decode(capture, cfg)
+	if err == nil {
+		d.accumulate(p)
+	}
+	return res, err
 }
 
 // WriteCapture serializes an epoch's capture to w in the LFIQ binary
