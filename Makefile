@@ -2,7 +2,8 @@ GO ?= go
 FUZZTIME ?= 30s
 
 .PHONY: all build vet test race race-stream bench benchjson benchguard \
-	fuzz fuzz-smoke kernel-smoke obs-smoke robustness-smoke profile ci clean
+	fuzz fuzz-smoke kernel-smoke obs-smoke stage-smoke robustness-smoke \
+	profile ci clean
 
 all: build
 
@@ -72,6 +73,16 @@ kernel-smoke:
 obs-smoke:
 	$(GO) test -race -run 'TestGolden|TestMetricsConservation|TestStatsDeterminism' .
 
+# Stage-graph smoke: the pipelined decoder's bit-identity sweep
+# (stage depth x fault kind x block size, plus goroutine-leak and
+# shutdown checks) under the race detector, the stage primitives'
+# unit tests, and one lfbench stage-breakdown run so the per-stage
+# occupancy path stays wired end to end.
+stage-smoke:
+	$(GO) test -race -run 'TestStageGraph' .
+	$(GO) test -race ./internal/stage
+	$(GO) run ./cmd/lfbench -exp stages -quick
+
 # One-epoch robustness sweep: fault injection across severities with
 # the streaming==batch degraded-identity check enforced per point.
 robustness-smoke:
@@ -83,7 +94,7 @@ profile:
 	$(GO) run ./cmd/lfbench -benchjson /tmp/lfbench-profile.json \
 		-cpuprofile lfbench.cpu.prof -memprofile lfbench.mem.prof
 
-ci: vet build test race race-stream fuzz-smoke kernel-smoke obs-smoke robustness-smoke benchguard
+ci: vet build test race race-stream fuzz-smoke kernel-smoke obs-smoke stage-smoke robustness-smoke benchguard
 
 clean:
 	$(GO) clean ./...

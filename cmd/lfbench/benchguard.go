@@ -26,9 +26,10 @@ const statsOverheadLimit = 1.03
 
 // guardedBenches are the benchmark names the guard gates on.
 var guardedBenches = map[string]bool{
-	"decode":           true,
-	"edgedetect":       true,
-	"decode/streaming": true,
+	"decode":                     true,
+	"edgedetect":                 true,
+	"decode/streaming":           true,
+	"decode/streaming/pipelined": true,
 }
 
 // runBenchGuard loads the committed baseline, re-runs the suite, and
@@ -95,6 +96,20 @@ func runBenchGuard(baselinePath string, seed int64) error {
 			fmt.Printf("%-24s ns/op %11.0f (%+6.1f%%)  allocs/op %5d (%+6.1f%%)  %s\n",
 				key, b.NsPerOp, 100*(nsRatio-1), b.AllocsPerOp, 100*(allocRatio-1), status)
 		}
+	}
+	// Realtime-factor gate: the streaming decoder's headline throughput
+	// metric must not regress >15% against the committed baseline. Like
+	// every baseline comparison it is skipped (with the warning above)
+	// when the machine is not comparable.
+	if comparable && baseline.Streaming != nil && fresh.Streaming != nil && baseline.Streaming.RealtimeFactor > 0 {
+		b, f := baseline.Streaming.RealtimeFactor, fresh.Streaming.RealtimeFactor
+		status := "ok"
+		if f < b*(1-guardThreshold) {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"realtime_factor: %.4f vs baseline %.4f (%+.1f%%)", f, b, 100*(f/b-1)))
+		}
+		fmt.Printf("%-24s %11.4f (%+6.1f%% vs %.4f)  %s\n", "realtime-factor", f, 100*(f/b-1), b, status)
 	}
 	// Instrumentation overhead gate: measured within this run, so it
 	// applies regardless of baseline comparability.

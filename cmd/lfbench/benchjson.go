@@ -70,7 +70,15 @@ type streamingMetrics struct {
 	SamplesPerSecSustained float64 `json:"samples_per_sec_sustained"`
 	// RealtimeFactor is sustained throughput over the capture's own
 	// sample rate: >1 means the decoder keeps up with a live SDR feed.
+	// Gated by -benchguard: a >15% drop against the committed baseline
+	// fails the guard (skipped, like every baseline comparison, when
+	// the machine is not comparable).
 	RealtimeFactor float64 `json:"realtime_factor"`
+	// RealtimeFactorPipelined is the same measurement with the
+	// stage-graph decoder (PipelineParallelism=2). On a single-core
+	// host it tracks RealtimeFactor minus queue overhead; with spare
+	// cores the detect and walk stages overlap and it pulls ahead.
+	RealtimeFactorPipelined float64 `json:"realtime_factor_pipelined,omitempty"`
 	// PeakRetainedBytes is the high-water mark of RetainedBytes across
 	// the push sequence; CaptureBytes is what batch decode would hold.
 	PeakRetainedBytes int64 `json:"peak_retained_bytes"`
@@ -213,6 +221,38 @@ func profileStreaming(net *lf.Network, ep *lf.Epoch) (*streamingMetrics, benchRe
 		m.RealtimeFactor = m.SamplesPerSecSustained / ep.Capture.SampleRate
 	}
 	return m, r, nil
+}
+
+// profilePipelined measures the stage-graph streaming decode
+// (PipelineParallelism=2) and returns its benchmark row plus realtime
+// factor.
+func profilePipelined(net *lf.Network, ep *lf.Epoch) (benchResult, float64, error) {
+	cfg := net.DecoderConfig()
+	cfg.CalibSamples = streamBenchCalib
+	cfg.PipelineParallelism = 2
+	dec, err := lf.NewDecoder(cfg)
+	if err != nil {
+		return benchResult{}, 0, err
+	}
+	r := measure("decode/streaming/pipelined", 2, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := dec.NewStream()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ep.Blocks(streamBenchBlock, s.Push); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rt := 0.0
+	if r.NsPerOp > 0 {
+		rt = float64(ep.Capture.Len()) / (r.NsPerOp / 1e9) / ep.Capture.SampleRate
+	}
+	return r, rt, nil
 }
 
 // pairedOverheadRatio measures the instrumented-vs-NoStats streaming
@@ -363,6 +403,13 @@ func buildBenchReport(seed int64) (*benchReport, error) {
 	}
 	report.Streaming = streaming
 	report.Benchmarks = append(report.Benchmarks, streamBench)
+
+	pipeBench, pipeRT, err := profilePipelined(net, ep)
+	if err != nil {
+		return nil, err
+	}
+	streaming.RealtimeFactorPipelined = pipeRT
+	report.Benchmarks = append(report.Benchmarks, pipeBench)
 
 	// A/B instrumented vs uninstrumented streaming decode. The decode
 	// itself is bit-identical; the ratio is the pure metrics cost and

@@ -84,6 +84,24 @@ type Config struct {
 	// 1 = serial). Decoder-internal randomness is split per stream in a
 	// fixed order, so the decode is bit-identical at any setting.
 	Parallelism int
+	// PipelineParallelism selects the streaming decoder's execution
+	// shape. 0 or 1 runs every stage inline on the pushing goroutine
+	// (the historical serial path). ≥ 2 runs the decoder as a
+	// pipeline-parallel stage graph: edge detection and
+	// walking/commit each own a goroutine, connected by bounded
+	// queues (pipeline.go), so detection of block N overlaps walking
+	// of block N-1 on multicore hosts. The decode is bit-identical
+	// either way — stages exchange immutable snapshots and every
+	// horizon check is unchanged — only wall-clock timing and the
+	// moment OnFrame/Tracer callbacks fire (still the pushing
+	// goroutine, slightly later) differ. Batch Decode ignores it.
+	PipelineParallelism int
+	// StageDepth bounds each inter-stage queue of the pipelined
+	// streaming decoder, in blocks/tokens (0 selects
+	// DefaultStageDepth, minimum 1). Deeper queues absorb stage-time
+	// jitter at the cost of buffering more pushed blocks, which
+	// RetainedBytes accounts for.
+	StageDepth int
 	// CalibSamples bounds the edge detector's noise calibration to the
 	// first CalibSamples differential magnitudes, which is what lets
 	// the streaming decoder start detecting — and bound its memory —
@@ -241,6 +259,10 @@ func Decode(capture *iq.Capture, cfg Config) (*Result, error) {
 	if len(capture.Samples) == 0 {
 		return nil, errAt(StageInput, -1, fmt.Errorf("decoder: capture has no samples"))
 	}
+	// The stage graph only helps when pushes interleave with decoding;
+	// a single-block batch decode gains nothing from it and would pay
+	// an extra capture copy, so the batch path always runs serial.
+	cfg.PipelineParallelism = 0
 	sd, err := NewStreamDecoder(capture.SampleRate, cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,366 @@
+package decoder
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"lf/internal/edgedetect"
+	"lf/internal/obs"
+	"lf/internal/pool"
+	"lf/internal/stage"
+)
+
+// DefaultStageDepth is the inter-stage queue bound used when
+// Config.StageDepth is 0: deep enough to ride out per-block stage-time
+// jitter, shallow enough that the buffered blocks stay a small
+// fraction of the detector's own window.
+const DefaultStageDepth = 4
+
+// pipeline runs the streaming decoder as a stage graph
+// (Config.PipelineParallelism ≥ 2): the pushing goroutine copies
+// blocks into a bounded ingest queue, a detect stage owns the
+// edgedetect.Stream and publishes one immutable View token per block,
+// and a walk stage runs the pump (registration, walking, commit, SIC
+// excluded — that is flush-time) against each token. The caller joins
+// both stages at Flush and finishes serially with flushTail.
+//
+// Bit-identity with the serial path (DESIGN.md §14) rests on the
+// token being an exact snapshot of the detector's post-Push state:
+// pump against token N computes precisely what the serial path's pump
+// computes after Push N, and everything pump reads through detSource
+// is either copied into the View or append-only in the arrays the
+// View aliases. The one in-place rewrite — prefix-sum compaction — is
+// deferred via edgedetect.CompactionGate until every published token
+// has been acked by the walk stage.
+//
+// Feedback edges are non-blocking atomics, never queues, so the graph
+// cannot deadlock: walk → detect carries the low-water promise
+// (lowWater) and the ack cursor (acked); detect → caller carries the
+// retained-bytes mirror. Shutdown: a failing stage cancels both
+// queues, the sibling unwinds, and the caller adopts the stage error
+// at the next Push or at Flush.
+type pipeline struct {
+	sd *StreamDecoder
+
+	ingest *stage.Queue[[]complex128]
+	tokens *stage.Queue[pipeToken]
+	detect *stage.Stage
+	walk   *stage.Stage
+
+	// published/acked are the compaction gate: detect bumps published
+	// before every token enqueue, walk stores acked after it finishes
+	// all reads of a token, and the detector may rewrite its prefix
+	// arrays only while the two agree (no live snapshot).
+	published atomic.Int64
+	acked     atomic.Int64
+
+	// lowWater carries the walk stage's window promise back to detect
+	// (written only by walk, monotone). appliedLow is detect-local.
+	lowWater   atomic.Int64
+	appliedLow int64
+
+	// retained mirrors det.RetainedBytes() (stored by detect after
+	// each Push) and retainBytes mirrors the SIC retention, so
+	// RetainedBytes is race-safe against concurrent polling.
+	retained    atomic.Int64
+	retainBytes atomic.Int64
+
+	// OnFrame/Tracer contract: callbacks fire on the pushing
+	// goroutine. The walk stage therefore appends emissions here (in
+	// commit order, under mu) and the caller drains them — through
+	// the real sinks below — on the next Push or at Flush.
+	mu      sync.Mutex
+	events  []pipeEvent
+	onFrame func(*StreamResult)
+	tracer  obs.Tracer
+
+	// err is the caller-side error state, written only on the pushing
+	// goroutine (at join); sd.err is unsafe to read before join.
+	err error
+}
+
+// pipeToken is one detect→walk handoff: the detector's state snapshot
+// after one Push. Queue byte accounting is zero because the View
+// aliases detector arrays already counted by the retained mirror.
+type pipeToken struct {
+	seq  int64
+	view edgedetect.View
+}
+
+// pipeEvent is one deferred emission: a committed frame (sr non-nil)
+// or a tracer span event.
+type pipeEvent struct {
+	sr *StreamResult
+	ev obs.SpanEvent
+}
+
+// deferTracer is the obs.Tracer installed in place of the user's
+// while the pipeline runs; it queues events for caller-side delivery.
+type deferTracer struct{ p *pipeline }
+
+func (d deferTracer) Trace(ev obs.SpanEvent) { d.p.addEvent(pipeEvent{ev: ev}) }
+
+// newPipeline wires the stage graph onto sd and starts its
+// goroutines. Called from NewStreamDecoder after sd is fully built.
+func newPipeline(sd *StreamDecoder) *pipeline {
+	depth := sd.cfg.StageDepth
+	if depth <= 0 {
+		depth = DefaultStageDepth
+	}
+	m := sd.m
+	p := &pipeline{
+		sd: sd,
+		ingest: stage.NewQueue[[]complex128](depth, stage.QueueMetrics{
+			Depth: m.Pipe.IngestDepth, PushStall: m.Pipe.IngestPushStall,
+			PopStall: m.Pipe.IngestPopStall, Items: m.Pipe.IngestItems,
+		}),
+		tokens: stage.NewQueue[pipeToken](depth, stage.QueueMetrics{
+			Depth: m.Pipe.TokenDepth, PushStall: m.Pipe.TokenPushStall,
+			PopStall: m.Pipe.TokenPopStall, Items: m.Pipe.TokenItems,
+		}),
+	}
+	// Redirect emissions through the deferral queue so the callback
+	// goroutine contract holds; only wrap sinks that exist.
+	if cb := sd.cfg.OnFrame; cb != nil {
+		p.onFrame = cb
+		sd.cfg.OnFrame = func(sr *StreamResult) { p.addEvent(pipeEvent{sr: sr}) }
+	}
+	if tr := sd.tracer; tr != nil {
+		p.tracer = tr
+		sd.tracer = deferTracer{p}
+	}
+	sd.det.CompactionGate(func() bool {
+		return p.acked.Load() == p.published.Load()
+	})
+	p.detect = stage.Go("detect", func() error {
+		// detectLoop's error paths do their own targeted cleanup (it
+		// must NOT cancel tokens on clean exit — the walk stage still
+		// drains them), so only a panic cancels everything here.
+		defer func() {
+			if r := recover(); r != nil {
+				p.cancelAll()
+				panic(r) // re-raise for stage.Go's capture
+			}
+		}()
+		return p.detectLoop()
+	})
+	p.walk = stage.Go("walk", func() error {
+		// Cancel both queues on any exit — error, panic, or clean
+		// drain — so a blocked caller or detect stage always unwinds.
+		defer p.cancelAll()
+		return p.walkLoop()
+	})
+	return p
+}
+
+func (p *pipeline) addEvent(e pipeEvent) {
+	p.mu.Lock()
+	p.events = append(p.events, e)
+	p.mu.Unlock()
+}
+
+// drainEvents delivers queued emissions through the real sinks, in
+// commit order. Caller goroutine only.
+func (p *pipeline) drainEvents() {
+	p.mu.Lock()
+	evs := p.events
+	p.events = nil
+	p.mu.Unlock()
+	for _, e := range evs {
+		if e.sr != nil {
+			p.onFrame(e.sr)
+		} else {
+			p.tracer.Trace(e.ev)
+		}
+	}
+}
+
+func (p *pipeline) cancelAll() {
+	p.ingest.Cancel()
+	p.tokens.Cancel()
+}
+
+// push is the pipelined Push/PushOwned: retain for SIC, hand the
+// block to the detect stage, surface any stage failure.
+func (p *pipeline) push(block []complex128, owned bool) error {
+	sd := p.sd
+	if p.err != nil || sd.done {
+		if owned {
+			pool.PutComplex(block)
+		}
+		if p.err != nil {
+			return p.err
+		}
+		return errAt(StageInput, -1, errors.New("decoder: push after flush"))
+	}
+	t0 := sd.now()
+	p.drainEvents()
+	if sd.cfg.CancellationRounds > 0 && !sd.retainExt {
+		if sd.retain == nil {
+			sd.retain = pool.Complex(0)
+		}
+		sd.retain = append(sd.retain, block...)
+		p.retainBytes.Store(int64(len(sd.retain)) * 16)
+	}
+	buf := block
+	if !owned {
+		// The caller keeps ownership of block, so the queue gets a
+		// pooled copy; PushOwned skips this — the zero-copy path.
+		buf = pool.ComplexUninit(len(block))
+		copy(buf, block)
+	}
+	if err := p.ingest.Push(buf, int64(len(buf))*16); err != nil {
+		pool.PutComplex(buf)
+		return p.join() // canceled: adopt the failing stage's error
+	}
+	sd.observe(sd.m.Stage.Push, t0)
+	return nil
+}
+
+// flush closes the ingest, joins both stages, and finishes the decode
+// serially (flushTail) on the calling goroutine.
+func (p *pipeline) flush() (*Result, error) {
+	sd := p.sd
+	if p.err != nil {
+		return nil, p.err
+	}
+	if sd.done {
+		return sd.res, nil
+	}
+	t0 := sd.now()
+	p.ingest.Close()
+	err := p.join()
+	p.drainEvents()
+	if err != nil {
+		return nil, err
+	}
+	res, ferr := sd.flushTail(t0)
+	p.drainEvents()
+	// Refresh the mirrors so post-flush RetainedBytes reports the
+	// released state without touching the detector from pollers.
+	p.retained.Store(sd.det.RetainedBytes())
+	if sd.retainExt {
+		p.retainBytes.Store(0)
+	} else {
+		p.retainBytes.Store(int64(len(sd.retain)) * 16)
+	}
+	return res, ferr
+}
+
+// join waits for both stages, restores serial mode (sd.dv back to the
+// live detector, compaction ungated), and records the first stage
+// error — walk first, since a detect cancellation is usually the
+// symptom of a walk failure. Caller goroutine only; idempotent.
+func (p *pipeline) join() error {
+	sd := p.sd
+	werr := p.walk.Wait()
+	derr := p.detect.Wait()
+	sd.dv = sd.det
+	sd.det.CompactionGate(nil)
+	err := werr
+	if err == nil {
+		err = derr
+	}
+	if err != nil {
+		sd.err = err
+		p.err = err
+	}
+	p.retained.Store(sd.det.RetainedBytes())
+	return err
+}
+
+// retainedBytes is the pipelined RetainedBytes: the detector mirror,
+// blocks buffered in the ingest queue, and the SIC retention. All
+// atomics, so concurrent polling never races the stages.
+func (p *pipeline) retainedBytes() int64 {
+	return p.retained.Load() + p.ingest.Bytes() + p.retainBytes.Load()
+}
+
+// detectLoop owns the edgedetect.Stream: drain ingest, push, publish
+// one snapshot token per block, mirror the retained accounting, and
+// apply the walk stage's low-water promises.
+func (p *pipeline) detectLoop() error {
+	sd := p.sd
+	for {
+		buf, ok, err := p.ingest.Pop()
+		if err != nil {
+			return nil // canceled: the walk stage failed and owns the error
+		}
+		if !ok {
+			break // flush: fall through to Close + final token
+		}
+		t0 := sd.now()
+		p.applyLowWater()
+		if perr := sd.det.Push(buf); perr != nil {
+			p.ingest.Cancel() // unblock the caller; tokens drain below
+			p.tokens.Close()
+			return errAt(StageEdgeDetect, sd.det.Front(), perr)
+		}
+		pool.PutComplex(buf)
+		p.retained.Store(sd.det.RetainedBytes())
+		ok = p.publish()
+		sd.observe(sd.m.Stage.Detect, t0)
+		if !ok {
+			return nil // canceled mid-publish
+		}
+	}
+	if cerr := sd.det.Close(); cerr != nil {
+		p.tokens.Close()
+		return errAt(StageInput, sd.det.Front(), cerr)
+	}
+	p.retained.Store(sd.det.RetainedBytes())
+	p.publish() // the EOF token: Closed() == true, walk drains to commit
+	p.tokens.Close()
+	return nil
+}
+
+// publish snapshots the detector and enqueues the token. published is
+// bumped before the enqueue so the compaction gate errs closed while
+// the token is in flight. Reports false when the graph was canceled.
+func (p *pipeline) publish() bool {
+	seq := p.published.Load() + 1
+	p.published.Store(seq)
+	tok := pipeToken{seq: seq, view: p.sd.det.Snapshot()}
+	return p.tokens.Push(tok, 0) == nil
+}
+
+// applyLowWater forwards the walk stage's latest window promise to
+// the detector. The compaction this can trigger is gated inside
+// dropSums, so calling it with tokens in flight is safe — the window
+// simply slides on the next gate-open Push.
+func (p *pipeline) applyLowWater() {
+	if lw := p.lowWater.Load(); lw > p.appliedLow {
+		p.appliedLow = lw
+		p.sd.det.SetLowWater(lw)
+	}
+}
+
+// walkLoop runs the pump against each published token: registration,
+// walking, commit, and emission deferral, exactly as the serial path
+// would after the corresponding Push. Acks the token only after pump
+// returns, so the compaction gate knows when no reads are live.
+func (p *pipeline) walkLoop() error {
+	sd := p.sd
+	for {
+		tok, ok, err := p.tokens.Pop()
+		if err != nil {
+			return nil // canceled: the detect stage failed and owns the error
+		}
+		if !ok {
+			return nil
+		}
+		t0 := sd.now()
+		view := tok.view
+		sd.dv = &view
+		sd.pump()
+		if lw := view.PromisedLowWater(); lw > p.lowWater.Load() {
+			p.lowWater.Store(lw)
+		}
+		p.acked.Store(tok.seq)
+		sd.observe(sd.m.Stage.Walk, t0)
+		if sd.err != nil {
+			return sd.err
+		}
+	}
+}

@@ -2,6 +2,7 @@ package decoder
 
 import (
 	"math"
+	"sort"
 
 	"lf/internal/dsp"
 	"lf/internal/iq"
@@ -49,14 +50,38 @@ func refineE(sr *StreamResult) complex128 {
 	return sum / complex(float64(count), 0)
 }
 
-// reconstruct renders one decoded stream's baseband contribution: a
-// ±E step at every decoded edge slot, ramped over rampSamples. The
-// returned buffer comes from the scratch pool; the caller owns it and
-// should recycle it with pool.PutComplex once consumed.
-func reconstruct(sr *StreamResult, n int, rampSamples int) []complex128 {
-	diff := pool.Complex(n + rampSamples + 1)
-	defer pool.PutComplex(diff)
+// reconSeg is one run of a reconstructed waveform: the per-sample
+// values dense[0:hi-lo] over [lo, hi) when dense is non-nil, else the
+// constant val. A stream's reconstruction is a position-sorted,
+// non-overlapping cover of [0, n).
+type reconSeg struct {
+	lo, hi int
+	val    complex128
+	dense  []complex128
+}
+
+// reconstruct renders one decoded stream's baseband contribution — a
+// ±E step at every decoded edge slot, ramped over rampSamples — as a
+// run-length segment list instead of a dense n-sample buffer.
+//
+// The reference semantics are the former dense form: an n-sample
+// difference array receiving each slot's ramp steps in slot order,
+// then a running prefix accumulation out[i] = Σ diff[0..i]. Between
+// ramp regions diff[i] is exactly +0.0 (the zeroed buffer only ever
+// accumulated values into ramp positions, and x + (+0.0) == x bitwise
+// for every float64 including ±0 and NaN), so the accumulator is
+// bitwise constant there — a run-length representation loses nothing.
+// Inside ramp regions the same accumulation runs densely, with each
+// position's ramp contributions added in slot order exactly as the
+// dense loop did. The result is O(slots) space and time instead of
+// O(capture), and bit-identical sample for sample.
+func reconstruct(sr *StreamResult, n int, rampSamples int) []reconSeg {
 	e := refineE(sr)
+	type event struct {
+		idx  int
+		step complex128
+	}
+	var events []event
 	for k, st := range sr.States {
 		if k >= len(sr.Slots) {
 			break
@@ -79,18 +104,83 @@ func reconstruct(sr *StreamResult, n int, rampSamples int) []complex128 {
 		if idx >= int64(n) {
 			continue
 		}
-		step := delta / complex(float64(rampSamples), 0)
-		for r := 0; r < rampSamples; r++ {
-			diff[idx+int64(r)] += step
+		events = append(events, event{int(idx), delta / complex(float64(rampSamples), 0)})
+	}
+
+	// Merge the ramp intervals [idx, idx+ramp) ∩ [0, n) into a sorted
+	// disjoint cover of the "active" positions; everything outside is a
+	// constant run.
+	type span struct{ lo, hi int }
+	spans := make([]span, len(events))
+	for i, ev := range events {
+		hi := ev.idx + rampSamples
+		if hi > n {
+			hi = n
+		}
+		spans[i] = span{ev.idx, hi}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	merged := spans[:0]
+	for _, sp := range spans {
+		if sp.lo >= sp.hi {
+			continue
+		}
+		if m := len(merged); m > 0 && sp.lo <= merged[m-1].hi {
+			if sp.hi > merged[m-1].hi {
+				merged[m-1].hi = sp.hi
+			}
+			continue
+		}
+		merged = append(merged, sp)
+	}
+
+	// One scratch buffer holds every active interval's diff values;
+	// offsets[i] is interval i's slice start. Ramp steps are added in
+	// slot (event) order, so a position covered by overlapping ramps
+	// accumulates them in exactly the dense loop's order.
+	total := 0
+	offsets := make([]int, len(merged))
+	for i, sp := range merged {
+		offsets[i] = total
+		total += sp.hi - sp.lo
+	}
+	diff := make([]complex128, total)
+	for _, ev := range events {
+		si := sort.Search(len(merged), func(i int) bool { return merged[i].hi > ev.idx })
+		sp := merged[si]
+		base := offsets[si] + ev.idx - sp.lo
+		hi := ev.idx + rampSamples
+		if hi > sp.hi {
+			// The event's ramp runs past this interval only when clipped
+			// at the capture end; positions ≥ n are never read.
+			hi = sp.hi
+		}
+		for r := 0; r < hi-ev.idx; r++ {
+			diff[base+r] += ev.step
 		}
 	}
-	out := pool.Complex(n)
+
+	// Prefix accumulation over the active intervals; the gaps between
+	// them carry the accumulator value unchanged.
+	segs := make([]reconSeg, 0, 2*len(merged)+1)
 	var acc complex128
-	for i := 0; i < n; i++ {
-		acc += diff[i]
-		out[i] = acc
+	pos := 0
+	for i, sp := range merged {
+		if sp.lo > pos {
+			segs = append(segs, reconSeg{lo: pos, hi: sp.lo, val: acc})
+		}
+		dense := diff[offsets[i] : offsets[i]+sp.hi-sp.lo]
+		for j := range dense {
+			acc += dense[j]
+			dense[j] = acc
+		}
+		segs = append(segs, reconSeg{lo: sp.lo, hi: sp.hi, dense: dense})
+		pos = sp.hi
 	}
-	return out
+	if pos < n {
+		segs = append(segs, reconSeg{lo: pos, hi: n, val: acc})
+	}
+	return segs
 }
 
 // cancelAndRetry subtracts all decoded streams from the capture and
@@ -115,26 +205,51 @@ func cancelAndRetry(capture *iq.Capture, results []*StreamResult, cfg Config, mi
 		}
 	}
 	// Reconstruct every trusted stream's waveform in parallel (each
-	// writes only its own buffer), then subtract over sample chunks
-	// with a fixed stream order: each sample sees the exact same
+	// writes only its own segment list), then subtract over sample
+	// chunks with a fixed stream order: each sample sees the exact same
 	// subtraction sequence as the serial stream-major loop, so the
-	// residual is bit-identical at any worker count.
-	contribs := make([][]complex128, len(trusted))
+	// residual is bit-identical at any worker count. A constant segment
+	// whose value is exactly (+0, +0) is skipped: x - (+0.0) == x
+	// bitwise for every float64 (including ±0; NaN payloads are
+	// irrelevant downstream, which only tests IsNaN), and most of a
+	// capture lies in such segments — the pre-preamble and post-frame
+	// stretches of every reconstruction.
+	contribs := make([][]reconSeg, len(trusted))
 	meter.Do(workers, len(trusted), func(i int) {
 		contribs[i] = reconstruct(trusted[i], n, ramp)
 	})
-	residual := pool.Complex(n)
+	residual := pool.ComplexUninit(n)
 	copy(residual, capture.Samples)
 	meter.DoRanges(workers, n, func(lo, hi int) {
-		for _, contrib := range contribs {
-			for i := lo; i < hi; i++ {
-				residual[i] -= contrib[i]
+		for _, segs := range contribs {
+			si := sort.Search(len(segs), func(i int) bool { return segs[i].hi > lo })
+			for ; si < len(segs) && segs[si].lo < hi; si++ {
+				seg := segs[si]
+				clo, chi := seg.lo, seg.hi
+				if clo < lo {
+					clo = lo
+				}
+				if chi > hi {
+					chi = hi
+				}
+				if seg.dense != nil {
+					d := seg.dense[clo-seg.lo:]
+					for i := clo; i < chi; i++ {
+						residual[i] -= d[i-clo]
+					}
+					continue
+				}
+				v := seg.val
+				if real(v) == 0 && imag(v) == 0 &&
+					!math.Signbit(real(v)) && !math.Signbit(imag(v)) {
+					continue
+				}
+				for i := clo; i < chi; i++ {
+					residual[i] -= v
+				}
 			}
 		}
 	})
-	for _, contrib := range contribs {
-		pool.PutComplex(contrib)
-	}
 	resCap := &iq.Capture{SampleRate: capture.SampleRate, Samples: residual}
 	sub := cfg
 	sub.CancellationRounds = 0

@@ -1,0 +1,148 @@
+// Int16 fixed-point companion to the SoA differential-sweep kernels.
+// The sparse sweep's dominant cost in steady state is the interval
+// bound test that scans every sample position of every sub-threshold
+// block; running that test over int32 prefix sums of int16-quantized
+// samples reads 8 bytes per position instead of the float64 pair's 16,
+// halving the memory bandwidth of the edge-sweep hot path. The bound
+// is conservative by a documented quantization margin, so every skip
+// it takes is one the float64 kernel could also justify — positions it
+// cannot certify fall through to the float64 interval test and then to
+// the exact dense kernel, keeping edge decisions identical sample for
+// sample (DESIGN.md §14).
+//
+// Quantization reads each sample back from the float64 prefix sums it
+// came from — q[j] = round(scale · (Re[j+1]−Re[j])) — rather than from
+// the caller's original block. That choice is what makes the error
+// bound front-independent: the quantized window sum is compared
+// against the very float64 prefix differences the dense kernel
+// divides, so accumulated rounding in the running float64 sums cancels
+// out of the bound instead of growing with capture length.
+package dsp
+
+import "math"
+
+// QuantClip is the quantized-sample magnitude limit. The scale is
+// chosen to map the calibration-time maximum component to QuantTarget,
+// leaving ~2x headroom before a later, larger sample overflows int16
+// and forces the quantized path off.
+const (
+	QuantTarget = 16000
+	QuantClip   = 32767
+)
+
+// QuantErr returns the magnitude error bound between the dense float64
+// differential and its quantized estimate, for quantization step
+// invScale = 1/scale and per-component sample magnitude maxComp.
+//
+// Per component: each of the two windowed sums Σ q over win samples
+// satisfies |Σq/scale − ΔP| ≤ win·(1/2)·invScale + win·ε·maxComp,
+// where ΔP is the float64 prefix difference the dense kernel uses (the
+// ½ is round-to-nearest on each sample, the ε·maxComp term the rounding
+// of reading a sample back as a prefix difference). Dividing by win and
+// differencing the two windows gives a per-component bound of
+// invScale + 2·ε·maxComp; the magnitude error is at most √2 times
+// that. The few-ulp rounding of the bound arithmetic itself is covered
+// by the same relative 1e-12 slack the float64 sparse kernel applies.
+func QuantErr(invScale, maxComp float64) float64 {
+	const eps = 2.220446049250313e-16
+	return math.Sqrt2 * (invScale + 2*eps*maxComp)
+}
+
+// DiffSweepSparse16 is DiffSweepSparse with a leading int16 fixed-point
+// tier: each block's skip decision is first attempted against interval
+// bounds computed from wrapping int32 prefix sums qre/qim of quantized
+// samples (8 B/position of bandwidth), widened by qerr (see QuantErr).
+// Blocks the quantized bound cannot certify retry the float64 interval
+// test, and only blocks failing both run the dense kernel — so the
+// output satisfies exactly the DiffSweepSparse contract: every
+// zero-filled position's dense magnitude is strictly below threshold,
+// and every position within guard of a threshold-crossing position is
+// computed bit-identically to DiffSweep.
+//
+// qre/qim must be index-aligned with re/im: qre[j] is the wrapping
+// int32 sum of round(scale·(Re[k+1]−Re[k])) over k < j. Wrapping is
+// sound because only window differences are consumed and a window sum
+// |Σ q| ≤ win·QuantClip sits far inside int32 range.
+func DiffSweepSparse16(qre, qim []int32, re, im []float64, j0 int, gap, win, guard int64, qerr, invScale, threshold float64, intLo, intHi int, dst []float64) {
+	g, w := int(gap), int(win)
+	gd := int(guard)
+	fw := float64(win)
+	qs := invScale / fw
+	n := len(dst)
+	for b0 := 0; b0 < n; b0 += sparseBlock {
+		b1 := min(b0+sparseBlock, n)
+		glo := max(j0+b0-gd, intLo)
+		ghi := min(j0+b1+gd, intHi)
+		minAr, maxAr, minAi, maxAi := minMaxWinQ(qre, qim, glo+g, ghi+g, w)
+		minBr, maxBr, minBi, maxBi := minMaxWinQ(qre, qim, glo-g-w, ghi-g-w, w)
+		// Extreme quantized differential components in sample units. The
+		// int window sums are exact, so monotonicity of the single
+		// rounded multiply keeps every position's estimate inside the
+		// interval.
+		dloR := float64(minAr-maxBr) * qs
+		dhiR := float64(maxAr-minBr) * qs
+		boundR := math.Max(math.Abs(dloR), math.Abs(dhiR))
+		dloI := float64(minAi-maxBi) * qs
+		dhiI := float64(maxAi-minBi) * qs
+		boundI := math.Max(math.Abs(dloI), math.Abs(dhiI))
+		bs := math.Sqrt(boundR*boundR+boundI*boundI) + qerr
+		if bs+bs*1e-12 < threshold {
+			for i := b0; i < b1; i++ {
+				dst[i] = 0
+			}
+			continue
+		}
+		// Quantized bound inconclusive: exact float64 interval test,
+		// identical to DiffSweepSparse's.
+		minFr, maxFr, minFi, maxFi := minMaxWin(re, im, glo+g, ghi+g, w)
+		minGr, maxGr, minGi, maxGi := minMaxWin(re, im, glo-g-w, ghi-g-w, w)
+		fLoR := minFr/fw - maxGr/fw
+		fHiR := maxFr/fw - minGr/fw
+		fBoundR := math.Max(math.Abs(fLoR), math.Abs(fHiR))
+		fLoI := minFi/fw - maxGi/fw
+		fHiI := maxFi/fw - minGi/fw
+		fBoundI := math.Max(math.Abs(fLoI), math.Abs(fHiI))
+		fs := math.Sqrt(fBoundR*fBoundR + fBoundI*fBoundI)
+		if fs+fs*1e-12 < threshold {
+			for i := b0; i < b1; i++ {
+				dst[i] = 0
+			}
+			continue
+		}
+		DiffSweep(re, im, j0+b0, gap, win, dst[b0:b1])
+	}
+}
+
+// minMaxWinQ returns the min and max of the lag-w wrapping differences
+// qre[q+w]−qre[q] and qim[q+w]−qim[q] over q in [qlo, qhi). Each
+// difference is the exact quantized window sum (wrap-subtraction
+// recovers it as long as it fits int32, which win·QuantClip guarantees
+// by a large margin).
+func minMaxWinQ(qre, qim []int32, qlo, qhi, w int) (minR, maxR, minI, maxI int32) {
+	n := qhi - qlo
+	hiR := qre[qlo+w:][:n]
+	loR := qre[qlo:][:n]
+	hiI := qim[qlo+w:][:n]
+	loI := qim[qlo:][:n]
+	minR = hiR[0] - loR[0]
+	maxR = minR
+	minI = hiI[0] - loI[0]
+	maxI = minI
+	for i := 1; i < n; i++ {
+		tr := hiR[i] - loR[i]
+		if tr < minR {
+			minR = tr
+		}
+		if tr > maxR {
+			maxR = tr
+		}
+		ti := hiI[i] - loI[i]
+		if ti < minI {
+			minI = ti
+		}
+		if ti > maxI {
+			maxI = ti
+		}
+	}
+	return minR, maxR, minI, maxI
+}

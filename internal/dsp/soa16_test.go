@@ -1,0 +1,120 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quantizePrefix builds the wrapping int32 quantized prefix sums from
+// float64 SoA prefix arrays, exactly as the streaming edge detector
+// does: each sample is read back as a prefix difference before
+// quantization, so the bound in DiffSweepSparse16 holds against the
+// very values the dense kernel consumes.
+func quantizePrefix(re, im []float64, scale float64) (qre, qim []int32, ok bool) {
+	qre = make([]int32, len(re))
+	qim = make([]int32, len(im))
+	var ar, ai int32
+	for j := 1; j < len(re); j++ {
+		r := math.RoundToEven((re[j] - re[j-1]) * scale)
+		i := math.RoundToEven((im[j] - im[j-1]) * scale)
+		if r > QuantClip || r < -QuantClip || i > QuantClip || i < -QuantClip {
+			return nil, nil, false
+		}
+		ar += int32(r)
+		ai += int32(i)
+		qre[j] = ar
+		qim[j] = ai
+	}
+	return qre, qim, true
+}
+
+// TestDiffSweepSparse16MatchesDense pins the quantized sparse kernel's
+// contract on the same signal shapes as the float64 sparse test:
+// positions are either bit-identical to the dense sweep or zero-filled
+// don't-cares with sub-threshold dense values and no threshold
+// crossing within guard.
+func TestDiffSweepSparse16MatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const gap, win = int64(2), int64(3)
+	const guard = gap + 2
+	margin := int(gap + win)
+	for trial := 0; trial < 6; trial++ {
+		n := 500 + rng.Intn(4000)
+		samples := stepCapture(rng, n)
+		var maxComp float64
+		for _, v := range samples {
+			maxComp = math.Max(maxComp, math.Max(math.Abs(real(v)), math.Abs(imag(v))))
+		}
+		scale := QuantTarget / maxComp
+		soa := NewPrefixSoA(samples)
+		qre, qim, ok := quantizePrefix(soa.Re, soa.Im, scale)
+		if !ok {
+			t.Fatal("quantization overflow on in-range capture")
+		}
+		j0 := margin
+		m := n - 2*margin
+		dense := make([]float64, m)
+		DiffSweep(soa.Re, soa.Im, j0, gap, win, dense)
+		qerr := QuantErr(1/scale, maxComp)
+		for _, thr := range []float64{0.01, 0.2, 1.0, 5.0} {
+			sparse := make([]float64, m)
+			DiffSweepSparse16(qre, qim, soa.Re, soa.Im, j0, gap, win, guard,
+				qerr, 1/scale, thr, margin, n-margin, sparse)
+			checkSparseContract(t, dense, sparse, thr, int(guard))
+		}
+		soa.Release()
+	}
+}
+
+// TestDiffSweepSparse16WrapSafe forces the int32 prefix sums to wrap —
+// a strong DC component over a long capture — and asserts the contract
+// still holds: only window differences are consumed, and those stay
+// exact under two's-complement wrap-subtraction.
+func TestDiffSweepSparse16WrapSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const gap, win = int64(2), int64(3)
+	const guard = gap + 2
+	margin := int(gap + win)
+	// ~260k samples at quantized DC ≈ 10700 per component overflows the
+	// int32 prefix (~2.1e9) midway.
+	n := 260000
+	samples := make([]complex128, n)
+	for i := range samples {
+		samples[i] = complex(1.0, 1.0) + complex(rng.NormFloat64()*0.01, rng.NormFloat64()*0.01)
+		if i%20011 == 0 {
+			samples[i] += complex(0.5, -0.5)
+		}
+	}
+	var maxComp float64
+	for _, v := range samples {
+		maxComp = math.Max(maxComp, math.Max(math.Abs(real(v)), math.Abs(imag(v))))
+	}
+	scale := QuantTarget / maxComp
+	soa := NewPrefixSoA(samples)
+	defer soa.Release()
+	qre, qim, ok := quantizePrefix(soa.Re, soa.Im, scale)
+	if !ok {
+		t.Fatal("quantization overflow on in-range capture")
+	}
+	wrapped := false
+	for _, v := range qre {
+		if v < 0 {
+			wrapped = true
+			break
+		}
+	}
+	if !wrapped {
+		t.Fatal("test capture did not wrap the int32 prefix; raise n")
+	}
+	m := n - 2*margin
+	dense := make([]float64, m)
+	DiffSweep(soa.Re, soa.Im, margin, gap, win, dense)
+	qerr := QuantErr(1/scale, maxComp)
+	for _, thr := range []float64{0.05, 0.3} {
+		sparse := make([]float64, m)
+		DiffSweepSparse16(qre, qim, soa.Re, soa.Im, margin, gap, win, guard,
+			qerr, 1/scale, thr, margin, n-margin, sparse)
+		checkSparseContract(t, dense, sparse, thr, int(guard))
+	}
+}

@@ -69,6 +69,26 @@ type Stream struct {
 	accIm   float64
 	front   int64 // samples pushed so far
 
+	// Int16 fixed-point shadow of the prefix sums: wrapping int32
+	// accumulations of round(qScale · sample), index-aligned with
+	// sumsRe/sumsIm, feeding the sparse sweep's quantized skip tier
+	// (dsp.DiffSweepSparse16) at half the float64 pair's memory
+	// bandwidth. The scale is fixed at calibration from the largest
+	// component seen; a later sample overflowing the int16 range
+	// disables the shadow for the rest of the capture (the float64
+	// tiers keep every decision identical). maxComp tracks the
+	// pre-calibration component maximum the scale derives from.
+	qRe     []int32
+	qIm     []int32
+	qAccRe  int32
+	qAccIm  int32
+	q16     bool
+	qScale  float64
+	qInv    float64
+	qErr    float64
+	qValid  int64 // quantized entries valid for absolute indices ≥ this
+	maxComp float64
+
 	// Differential magnitudes for positions [magBase, magDone).
 	mag     []float64
 	magBase int64
@@ -82,7 +102,7 @@ type Stream struct {
 	raw      []dsp.Peak     // raw maxima awaiting a safe NMS/coalesce cut
 	nms      dsp.Suppressor // reusable NMS scratch for suppressChunk
 	kept     []dsp.Peak     // scratch for suppressChunk
-	groups   []group    // coalesced groups awaiting refinement; head at ghead
+	groups   []group        // coalesced groups awaiting refinement; head at ghead
 	ghead    int
 	prevLast int64 // last peak position of the previously refined group
 	havePrev bool
@@ -102,6 +122,10 @@ type Stream struct {
 	lowWater int64 // caller promises no MeasureAt below this position
 	err      error
 	released bool
+
+	// compactGate, when non-nil, must return true for the prefix-sum
+	// window to compact in place (see CompactionGate / View).
+	compactGate func() bool
 }
 
 // Span is a half-open range [Lo, Hi) of absolute sample positions.
@@ -149,6 +173,9 @@ func (s *Stream) Reset() {
 	s.sumsRe = append(s.sumsRe[:0], 0)
 	s.sumsIm = append(s.sumsIm[:0], 0)
 	s.sumBase, s.accRe, s.accIm, s.front = 0, 0, 0, 0
+	s.disableQuant()
+	s.qAccRe, s.qAccIm = 0, 0
+	s.qScale, s.qInv, s.qErr, s.qValid, s.maxComp = 0, 0, 0, 0, 0
 	s.mag = s.mag[:0]
 	s.magBase, s.magDone = 0, 0
 	s.calibrated, s.floor, s.threshold = false, 0, 0
@@ -174,6 +201,20 @@ func (s *Stream) Push(block []complex128) error {
 	if s.eof {
 		return errors.New("edgedetect: push after close")
 	}
+	// Extend all prefix arrays once per block, then fill by index: the
+	// per-sample append bounds-and-growth checks are measurable at epoch
+	// scale with four accumulation lanes.
+	base := len(s.sumsRe)
+	s.sumsRe = extendFloats(s.sumsRe, len(block))
+	s.sumsIm = extendFloats(s.sumsIm, len(block))
+	re := s.sumsRe[base:]
+	im := s.sumsIm[base:]
+	var qre, qim []int32
+	if s.q16 {
+		s.qRe = extendInt32s(s.qRe, len(block))
+		s.qIm = extendInt32s(s.qIm, len(block))
+		qre, qim = s.qRe[base:], s.qIm[base:]
+	}
 	for i, v := range block {
 		if !sampleOK(v) {
 			s.noteDrop(s.front + int64(i))
@@ -182,10 +223,35 @@ func (s *Stream) Push(block []complex128) error {
 		} else {
 			s.lastFinite = v
 		}
+		preRe, preIm := s.accRe, s.accIm
 		s.accRe += real(v)
 		s.accIm += imag(v)
-		s.sumsRe = append(s.sumsRe, s.accRe)
-		s.sumsIm = append(s.sumsIm, s.accIm)
+		re[i] = s.accRe
+		im[i] = s.accIm
+		if s.q16 {
+			// Quantize the sample as the prefix difference just stored —
+			// the value the dense kernel will consume — so the skip
+			// tier's error bound is front-independent (DESIGN.md §14).
+			qr := math.RoundToEven((s.accRe - preRe) * s.qScale)
+			qi := math.RoundToEven((s.accIm - preIm) * s.qScale)
+			if qr > dsp.QuantClip || qr < -dsp.QuantClip ||
+				qi > dsp.QuantClip || qi < -dsp.QuantClip {
+				s.disableQuant() // frees the arrays qre/qim view
+				qre, qim = nil, nil
+			} else {
+				s.qAccRe += int32(qr)
+				s.qAccIm += int32(qi)
+				qre[i] = s.qAccRe
+				qim[i] = s.qAccIm
+			}
+		} else if !s.calibrated {
+			if a := math.Abs(real(v)); a > s.maxComp {
+				s.maxComp = a
+			}
+			if a := math.Abs(imag(v)); a > s.maxComp {
+				s.maxComp = a
+			}
+		}
 	}
 	s.front += int64(len(block))
 	s.advance()
@@ -213,6 +279,7 @@ func (s *Stream) Close() error {
 	s.eof = true
 	s.total = s.front
 	s.advance()
+	s.disableQuant() // no sweeps remain; only measurement survives Close
 	if s.mag != nil {
 		pool.PutFloat(s.mag)
 		s.mag = nil
@@ -230,6 +297,7 @@ func (s *Stream) Release() {
 		return
 	}
 	s.released = true
+	s.disableQuant()
 	pool.PutFloat(s.sumsRe)
 	pool.PutFloat(s.sumsIm)
 	s.sumsRe, s.sumsIm = nil, nil
@@ -294,7 +362,8 @@ func (s *Stream) SetLowWater(pos int64) {
 // capacity beyond the live window: the backing arrays come from the
 // shared pool and may carry slack amortized across unrelated decodes.
 func (s *Stream) RetainedBytes() int64 {
-	return int64(len(s.sumsRe)+len(s.sumsIm))*8 + int64(len(s.mag))*8 +
+	return int64(len(s.sumsRe)+len(s.sumsIm))*8 + int64(len(s.qRe)+len(s.qIm))*4 +
+		int64(len(s.mag))*8 +
 		int64(len(s.raw)+len(s.kept))*16 + s.nms.RetainedBytes() +
 		int64(len(s.groups)-s.ghead)*32
 }
@@ -402,6 +471,69 @@ func (s *Stream) blankDropped(lo, hi, margin int64) {
 	}
 }
 
+// enableQuant fixes the fixed-point scale from the calibration-window
+// component maximum and backfills the quantized prefix shadow over the
+// retained samples (calibration precedes any trim, so the sums still
+// start at the origin). An out-of-range sample — possible only if the
+// capture's components grow past ~2x the calibration maximum — aborts
+// the backfill and leaves the float64 path in sole charge.
+func (s *Stream) enableQuant() {
+	s.qScale = dsp.QuantTarget / s.maxComp
+	s.qInv = s.maxComp / dsp.QuantTarget
+	// Any admitted quantized sample has |component| ≤ (QuantClip+1)·qInv,
+	// which bounds the ε term of the skip tier's error margin.
+	s.qErr = dsp.QuantErr(s.qInv, (dsp.QuantClip+1)*s.qInv)
+	// Only the tail of the calibrated window is reachable by future
+	// sweeps: an extension starting at position p reads prefix indices
+	// ≥ p − (Gap+Win) − guard, and every future extension starts at
+	// magDone or later. The skip tier consumes only window differences,
+	// so the wrapping accumulation may start at any base — entries below
+	// jStart are left as uninitialized never-read filler, saving the
+	// full-window backfill pass. advance() re-checks the reachability
+	// floor before dispatching the quantized kernel.
+	n := len(s.sumsRe)
+	reach := int(s.cfg.Gap+s.cfg.Win+s.cfg.Gap+2) + 64
+	jStart := int(s.magDone-s.sumBase) - reach
+	if jStart < 0 {
+		jStart = 0
+	}
+	s.qValid = s.sumBase + int64(jStart)
+	s.qRe = pool.Int32sUninit(n)
+	s.qIm = pool.Int32sUninit(n)
+	s.qRe[jStart] = 0
+	s.qIm[jStart] = 0
+	var ar, ai int32
+	for j := jStart + 1; j < n; j++ {
+		qr := math.RoundToEven((s.sumsRe[j] - s.sumsRe[j-1]) * s.qScale)
+		qi := math.RoundToEven((s.sumsIm[j] - s.sumsIm[j-1]) * s.qScale)
+		if qr > dsp.QuantClip || qr < -dsp.QuantClip ||
+			qi > dsp.QuantClip || qi < -dsp.QuantClip {
+			s.disableQuant()
+			return
+		}
+		ar += int32(qr)
+		ai += int32(qi)
+		s.qRe[j] = ar
+		s.qIm[j] = ai
+	}
+	s.qAccRe, s.qAccIm = ar, ai
+	s.q16 = true
+}
+
+// disableQuant retires the quantized prefix shadow; every subsequent
+// sweep runs the pure float64 sparse kernel.
+func (s *Stream) disableQuant() {
+	if s.qRe != nil {
+		pool.PutInt32s(s.qRe)
+		pool.PutInt32s(s.qIm)
+		s.qRe, s.qIm = nil, nil
+	}
+	s.q16 = false
+}
+
+// Quantized reports whether the int16 fixed-point skip tier is active.
+func (s *Stream) Quantized() bool { return s.q16 }
+
 // futureFirstMin lower-bounds the first-peak position of any group not
 // yet coalesced: pending raw maxima (or any maximum yet to be scanned)
 // sit at min(raw[0].Pos, scanned) or later, and centroiding moves a
@@ -452,6 +584,12 @@ func (s *Stream) advance() {
 		s.mag = extendFloats(s.mag, count)
 		limit := s.limit()
 		intLo, intHi := margin, limit-margin
+		// The quantized shadow is only consulted when every prefix index
+		// this extension can reach is above its validity floor (it holds
+		// by construction — enableQuant leaves `reach` slack below the
+		// magDone it was built at — but the floor is what the proof
+		// stands on, so check it, not the construction).
+		useQ := s.q16 && max(lo, intLo)-guard-margin >= s.qValid
 		s.meter.DoRanges(s.workers, count, func(clo, chi int) {
 			plo, phi := lo+int64(clo), lo+int64(chi)
 			ilo := max(plo, intLo)
@@ -462,10 +600,14 @@ func (s *Stream) advance() {
 			if ilo < ihi {
 				j0 := int(ilo - s.sumBase)
 				dst := s.mag[ilo-s.magBase : ihi-s.magBase]
-				if sparse {
+				switch {
+				case sparse && useQ:
+					dsp.DiffSweepSparse16(s.qRe, s.qIm, s.sumsRe, s.sumsIm, j0, g, w, guard,
+						s.qErr, s.qInv, s.threshold, int(intLo-s.sumBase), int(intHi-s.sumBase), dst)
+				case sparse:
 					dsp.DiffSweepSparse(s.sumsRe, s.sumsIm, j0, g, w, guard,
 						s.threshold, int(intLo-s.sumBase), int(intHi-s.sumBase), dst)
-				} else {
+				default:
 					dsp.DiffSweep(s.sumsRe, s.sumsIm, j0, g, w, dst)
 				}
 			}
@@ -511,6 +653,12 @@ func (s *Stream) advance() {
 			s.threshold = min
 		}
 		s.calibrated = true
+		// Calibration fixes the quantization scale; the shadow only pays
+		// off for sweeps still to come, so a capture that calibrates at
+		// Close (or one forced dense) never builds it.
+		if !s.eof && !s.cfg.DenseSweep && s.threshold > 0 && s.maxComp > 0 {
+			s.enableQuant()
+		}
 	}
 
 	// 3. Local-maximum scan. Serial by construction (it is a trivial
@@ -727,10 +875,23 @@ func (s *Stream) dropSums(keep int64) {
 	if drop < 1<<13 || int(drop) < len(s.sumsRe)/2 {
 		return
 	}
+	// The in-place copy below rewrites entries a published View could
+	// still be reading; the pipelined decoder gates it on every
+	// snapshot having been retired (acked). Skipping is always safe —
+	// the window just grows until the gate opens.
+	if s.compactGate != nil && !s.compactGate() {
+		return
+	}
 	n := copy(s.sumsRe, s.sumsRe[drop:])
 	copy(s.sumsIm, s.sumsIm[drop:])
 	s.sumsRe = s.sumsRe[:n]
 	s.sumsIm = s.sumsIm[:n]
+	if s.q16 {
+		copy(s.qRe, s.qRe[drop:])
+		copy(s.qIm, s.qIm[drop:])
+		s.qRe = s.qRe[:n]
+		s.qIm = s.qIm[:n]
+	}
 	s.sumBase = keep
 }
 
@@ -750,6 +911,15 @@ func (s *Stream) dropMag(keep int64) {
 // extendFloats grows b by n entries without zeroing them (every caller
 // overwrites the extension) and without a temporary allocation.
 func extendFloats(b []float64, n int) []float64 {
+	need := len(b) + n
+	for cap(b) < need {
+		b = append(b[:cap(b)], 0)
+	}
+	return b[:need]
+}
+
+// extendInt32s is extendFloats for the quantized prefix lanes.
+func extendInt32s(b []int32, n int) []int32 {
 	need := len(b) + n
 	for cap(b) < need {
 		b = append(b[:cap(b)], 0)

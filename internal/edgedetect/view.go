@@ -1,0 +1,138 @@
+package edgedetect
+
+// View is an immutable snapshot of a Stream's decode-visible state,
+// taken between pushes. It exists for the pipelined decoder: the
+// detect stage publishes one View per pushed block, and the walk stage
+// measures against it from another goroutine while the detector keeps
+// pushing.
+//
+// Safety rests on three structural facts (DESIGN.md §14):
+//
+//   - Every slice captured here (prefix sums, edge list) is append-only
+//     between compactions: later pushes write only indices at or past
+//     the snapshot's length, so reads inside the snapshot race with
+//     nothing.
+//   - Compaction — the only in-place rewrite of the prefix arrays — is
+//     deferred through CompactionGate until no snapshot is live.
+//   - All fields are plain values copied on the publishing goroutine;
+//     the queue handoff is the synchronization edge.
+//
+// A View's measurement methods are verbatim mirrors of the Stream's,
+// so a measurement through a View is bit-identical to the same
+// measurement against the live Stream at the snapshot moment.
+type View struct {
+	cfg          Config
+	sumsRe       []float64
+	sumsIm       []float64
+	sumBase      int64
+	front        int64
+	eof          bool
+	total        int64
+	edges        []Edge
+	floor        float64
+	calibrated   bool
+	edgeComplete int64
+
+	lowWater int64 // promise recorded by SetLowWater, for the ack path
+}
+
+// Snapshot captures the stream's decode-visible state. Must be called
+// on the goroutine that owns the Stream (the detect stage), between
+// pushes.
+func (s *Stream) Snapshot() View {
+	return View{
+		cfg:          s.cfg,
+		sumsRe:       s.sumsRe,
+		sumsIm:       s.sumsIm,
+		sumBase:      s.sumBase,
+		front:        s.front,
+		eof:          s.eof,
+		total:        s.total,
+		edges:        s.edges,
+		floor:        s.floor,
+		calibrated:   s.calibrated,
+		edgeComplete: s.EdgeComplete(),
+	}
+}
+
+// CompactionGate installs a predicate consulted before any in-place
+// compaction of the prefix-sum window. When it returns false the
+// compaction is skipped (the window keeps growing); passing nil
+// removes the gate. The pipelined decoder points this at its
+// ack-tracking state so the arrays are never rewritten while a
+// published View could still read them.
+func (s *Stream) CompactionGate(gate func() bool) { s.compactGate = gate }
+
+// Edges returns the edge prefix finalized at the snapshot.
+func (v *View) Edges() []Edge { return v.edges }
+
+// EdgeComplete returns the detection horizon at the snapshot.
+func (v *View) EdgeComplete() int64 { return v.edgeComplete }
+
+// Front returns the number of samples pushed at the snapshot.
+func (v *View) Front() int64 { return v.front }
+
+// Closed reports whether the stream had been closed at the snapshot.
+func (v *View) Closed() bool { return v.eof }
+
+// Calibrated reports whether the threshold was fixed at the snapshot.
+func (v *View) Calibrated() bool { return v.calibrated }
+
+// NoiseFloor returns the calibrated noise floor at the snapshot.
+func (v *View) NoiseFloor() float64 { return v.floor }
+
+// SetLowWater records the caller's promise that no measurement will
+// target a position below pos. The View itself never compacts; the
+// recorded high-water is collected by PromisedLowWater and fed back to
+// the owning Stream once the snapshot is retired.
+func (v *View) SetLowWater(pos int64) {
+	if pos > v.lowWater {
+		v.lowWater = pos
+	}
+}
+
+// PromisedLowWater returns the highest low-water promise recorded
+// against this View (0 if none).
+func (v *View) PromisedLowWater() int64 { return v.lowWater }
+
+// MeasureAt mirrors Stream.MeasureAt against the snapshot.
+func (v *View) MeasureAt(pos int64) complex128 {
+	after := v.meanRange(pos+v.cfg.Gap, pos+v.cfg.Gap+v.cfg.Win)
+	before := v.meanRange(pos-v.cfg.Gap-v.cfg.Win, pos-v.cfg.Gap)
+	return after - before
+}
+
+// MeasureAtClean mirrors Stream.MeasureAtClean against the snapshot.
+func (v *View) MeasureAtClean(pos int64) complex128 {
+	after := v.meanRange(pos+v.cfg.Gap, pos+v.cfg.Gap+v.cfg.MaxWin)
+	before := v.meanRange(pos-v.cfg.Gap-v.cfg.MaxWin, pos-v.cfg.Gap)
+	return after - before
+}
+
+func (v *View) limit() int64 {
+	if v.eof {
+		return v.total
+	}
+	return v.front
+}
+
+// meanRange is the verbatim mirror of Stream.meanRange: identical
+// clamping, then the componentwise subtraction and division of
+// from-origin sums, so the two are bit-identical on the same state.
+func (v *View) meanRange(lo, hi int64) complex128 {
+	if lo < 0 {
+		lo = 0
+	}
+	if n := v.limit(); hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return 0
+	}
+	jlo, jhi := lo-v.sumBase, hi-v.sumBase
+	if jlo < 0 {
+		panic("edgedetect: view prefix window underrun (SetLowWater too aggressive?)")
+	}
+	fn := float64(hi - lo)
+	return complex((v.sumsRe[jhi]-v.sumsRe[jlo])/fn, (v.sumsIm[jhi]-v.sumsIm[jlo])/fn)
+}

@@ -115,6 +115,30 @@ func (b *BlockReader) Read(dst []complex128) (int, error) {
 	return done, nil
 }
 
+// ReadBlock decodes up to n samples into a pooled buffer and hands it
+// to the caller, ownership included: the buffer comes from the shared
+// sample pool, so feeding it to StreamDecoder.PushOwned moves samples
+// from file to decoder with no further copies (the pipelined decoder
+// enqueues the buffer as-is and recycles it after detection). Returns
+// (nil, io.EOF) once the payload is exhausted; any other error follows
+// Read's contract. Callers that keep the buffer must recycle it with
+// pool.PutComplex themselves.
+func (b *BlockReader) ReadBlock(n int) ([]complex128, error) {
+	if b.read >= b.count {
+		return nil, io.EOF
+	}
+	if rem := b.count - b.read; int64(n) > rem {
+		n = int(rem)
+	}
+	dst := pool.ComplexUninit(n)
+	got, err := b.Read(dst)
+	if err != nil {
+		pool.PutComplex(dst)
+		return nil, err
+	}
+	return dst[:got], nil
+}
+
 // Close recycles the reader's internal buffer. The reader must not be
 // used afterwards.
 func (b *BlockReader) Close() error {

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"lf/internal/pool"
 )
 
 func TestCaptureRoundTrip(t *testing.T) {
@@ -174,5 +176,41 @@ func TestBlockReaderTruncatedPayload(t *testing.T) {
 	dst := make([]complex128, 64)
 	if _, err := br.Read(dst); err == nil {
 		t.Fatal("truncated payload read without error")
+	}
+}
+
+func TestBlockReaderReadBlock(t *testing.T) {
+	c := &Capture{SampleRate: 25e6, Samples: make([]complex128, 5000)}
+	for i := range c.Samples {
+		c.Samples[i] = complex(float64(i), float64(i)/7)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBlockReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer br.Close()
+	var got []complex128
+	for {
+		blk, err := br.ReadBlock(999)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, blk...)
+		pool.PutComplex(blk)
+	}
+	if len(got) != len(c.Samples) {
+		t.Fatalf("read %d samples, want %d", len(got), len(c.Samples))
+	}
+	for i := range got {
+		if got[i] != c.Samples[i] {
+			t.Fatalf("sample %d: %v != %v", i, got[i], c.Samples[i])
+		}
 	}
 }

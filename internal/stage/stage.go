@@ -1,0 +1,177 @@
+// Package stage provides the building blocks of the decoder's
+// pipeline-parallel stage graph: bounded single-producer/single-
+// consumer queues with occupancy, stall, and byte accounting, and a
+// goroutine wrapper that converts stage panics into errors instead of
+// tearing down the process.
+//
+// The graph built from these parts is deliberately small — a handful
+// of stages connected by depth-bounded queues — and its determinism
+// story lives with the decoder (DESIGN.md §14): stages communicate
+// only through immutable tokens, so the stage graph's output is
+// bit-identical to running the same stages serially.
+package stage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lf/internal/obs"
+)
+
+// ErrCanceled is returned by Push/Pop after Cancel: the graph is
+// shutting down (typically because a sibling stage failed) and the
+// caller should unwind.
+var ErrCanceled = errors.New("stage: canceled")
+
+// QueueMetrics instruments one queue. All fields are optional
+// (nil-metric receivers are no-ops, matching the obs conventions).
+// Everything here is ClassRuntime: depths and stalls depend on
+// scheduling by definition and never feed a decode decision.
+type QueueMetrics struct {
+	// Depth tracks the high-water queue occupancy in items.
+	Depth *obs.Gauge
+	// PushStall / PopStall accumulate time a producer or consumer
+	// spent blocked on a full or empty queue. Only genuinely blocked
+	// operations are timed — the uncontended fast path never reads a
+	// clock.
+	PushStall, PopStall *obs.Timing
+	// Items counts tokens that passed through.
+	Items *obs.Counter
+}
+
+type queued[T any] struct {
+	v T
+	n int64 // byte accounting for this item
+}
+
+// Queue is a bounded SPSC queue carrying typed tokens between two
+// pipeline stages. One goroutine pushes and eventually Closes; one
+// goroutine pops until ok == false. Cancel (any goroutine) aborts both
+// sides. Bytes reports the payload bytes currently buffered, for the
+// decoder's retained-memory accounting.
+type Queue[T any] struct {
+	ch     chan queued[T]
+	done   chan struct{}
+	cancel sync.Once
+	bytes  atomic.Int64
+	m      QueueMetrics
+}
+
+// NewQueue builds a queue with the given depth (minimum 1).
+func NewQueue[T any](depth int, m QueueMetrics) *Queue[T] {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Queue[T]{ch: make(chan queued[T], depth), done: make(chan struct{}), m: m}
+}
+
+// Push enqueues one token, blocking while the queue is full. nbytes is
+// the token's payload size for Bytes accounting. Returns ErrCanceled
+// if the queue was canceled (the token is dropped).
+func (q *Queue[T]) Push(v T, nbytes int64) error {
+	it := queued[T]{v: v, n: nbytes}
+	q.bytes.Add(nbytes)
+	select {
+	case q.ch <- it:
+	default:
+		// Full: block, and only now pay for a clock read if stall
+		// accounting is on.
+		var t0 time.Time
+		if q.m.PushStall != nil {
+			t0 = time.Now()
+		}
+		select {
+		case q.ch <- it:
+			if q.m.PushStall != nil {
+				q.m.PushStall.Observe(time.Since(t0))
+			}
+		case <-q.done:
+			q.bytes.Add(-nbytes)
+			return ErrCanceled
+		}
+	}
+	q.m.Depth.Max(int64(len(q.ch)))
+	q.m.Items.Inc()
+	return nil
+}
+
+// Pop dequeues one token, blocking while the queue is empty. ok is
+// false once the queue is closed and drained; err is ErrCanceled if
+// the queue was canceled first.
+func (q *Queue[T]) Pop() (v T, ok bool, err error) {
+	var it queued[T]
+	select {
+	case it, ok = <-q.ch:
+	default:
+		var t0 time.Time
+		if q.m.PopStall != nil {
+			t0 = time.Now()
+		}
+		select {
+		case it, ok = <-q.ch:
+			if q.m.PopStall != nil {
+				q.m.PopStall.Observe(time.Since(t0))
+			}
+		case <-q.done:
+			return v, false, ErrCanceled
+		}
+	}
+	if !ok {
+		return v, false, nil
+	}
+	q.bytes.Add(-it.n)
+	return it.v, true, nil
+}
+
+// Close marks the producer side done: pending tokens drain, then Pop
+// returns ok == false. Only the producer may call Close, once.
+func (q *Queue[T]) Close() { close(q.ch) }
+
+// Cancel aborts both sides: blocked and future Push/Pop calls return
+// ErrCanceled. Idempotent and safe from any goroutine.
+func (q *Queue[T]) Cancel() { q.cancel.Do(func() { close(q.done) }) }
+
+// Len returns the current queue occupancy in items.
+func (q *Queue[T]) Len() int { return len(q.ch) }
+
+// Bytes returns the payload bytes currently buffered (as accounted by
+// the producers' nbytes arguments).
+func (q *Queue[T]) Bytes() int64 { return q.bytes.Load() }
+
+// Stage runs one pipeline stage on its own goroutine, capturing a
+// returned error or a panic. Wait joins the goroutine; a panic
+// surfaces as an error naming the stage, so one crashing stage
+// degrades the decode instead of killing the process.
+type Stage struct {
+	name string
+	done chan struct{}
+	err  error
+}
+
+// Go starts fn as a named stage.
+func Go(name string, fn func() error) *Stage {
+	s := &Stage{name: name, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		defer func() {
+			if r := recover(); r != nil {
+				s.err = fmt.Errorf("stage %s: panic: %v", s.name, r)
+			}
+		}()
+		s.err = fn()
+	}()
+	return s
+}
+
+// Wait blocks until the stage goroutine has exited and returns its
+// error (nil on clean completion).
+func (s *Stage) Wait() error {
+	<-s.done
+	return s.err
+}
+
+// Name returns the stage's name.
+func (s *Stage) Name() string { return s.name }

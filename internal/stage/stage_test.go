@@ -1,0 +1,157 @@
+package stage
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"lf/internal/obs"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int](4, QueueMetrics{})
+	for i := 0; i < 4; i++ {
+		if err := q.Push(i, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := q.Bytes(); got != 32 {
+		t.Fatalf("Bytes = %d, want 32", got)
+	}
+	if got := q.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	q.Close()
+	for i := 0; i < 4; i++ {
+		v, ok, err := q.Pop()
+		if err != nil || !ok || v != i {
+			t.Fatalf("Pop #%d = (%d, %v, %v)", i, v, ok, err)
+		}
+	}
+	if _, ok, err := q.Pop(); ok || err != nil {
+		t.Fatalf("Pop after drain = (ok=%v, err=%v), want closed", ok, err)
+	}
+	if got := q.Bytes(); got != 0 {
+		t.Fatalf("Bytes after drain = %d, want 0", got)
+	}
+}
+
+// TestQueueBlocksAtDepth pins the boundedness: a producer past the
+// depth blocks until the consumer drains, and both directions move
+// every token exactly once.
+func TestQueueBlocksAtDepth(t *testing.T) {
+	const n = 1000
+	q := NewQueue[int](2, QueueMetrics{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := q.Push(i, 1); err != nil {
+				t.Errorf("push %d: %v", i, err)
+				return
+			}
+			if q.Len() > 2 {
+				t.Errorf("queue overfilled: %d", q.Len())
+				return
+			}
+		}
+		q.Close()
+	}()
+	for i := 0; i < n; i++ {
+		v, ok, err := q.Pop()
+		if err != nil || !ok || v != i {
+			t.Fatalf("Pop #%d = (%d, %v, %v)", i, v, ok, err)
+		}
+	}
+	wg.Wait()
+}
+
+func TestQueueCancelUnblocks(t *testing.T) {
+	q := NewQueue[int](1, QueueMetrics{})
+	if err := q.Push(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- q.Push(1, 4) }() // blocks: queue full
+	q.Cancel()
+	if err := <-errc; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("blocked Push after Cancel = %v, want ErrCanceled", err)
+	}
+	// The canceled push rolled its bytes back; only the landed token
+	// remains accounted.
+	if got := q.Bytes(); got != 4 {
+		t.Fatalf("Bytes after canceled push = %d, want 4", got)
+	}
+	q.Cancel() // idempotent
+	empty := NewQueue[int](1, QueueMetrics{})
+	go empty.Cancel()
+	if _, _, err := empty.Pop(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("blocked Pop after Cancel = %v, want ErrCanceled", err)
+	}
+}
+
+func TestQueueMetrics(t *testing.T) {
+	r := obs.NewRegistry()
+	m := QueueMetrics{
+		Depth:     r.Gauge("q.depth", obs.ClassRuntime),
+		PushStall: r.Timing("q.push_stall_ns"),
+		PopStall:  r.Timing("q.pop_stall_ns"),
+		Items:     r.Counter("q.items", obs.ClassRuntime),
+	}
+	q := NewQueue[int](2, m)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 8; i++ {
+			if err := q.Push(i, 1); err != nil {
+				t.Errorf("push: %v", err)
+			}
+		}
+		q.Close()
+	}()
+	for {
+		if _, ok, err := q.Pop(); err != nil {
+			t.Fatal(err)
+		} else if !ok {
+			break
+		}
+	}
+	<-done
+	if got := m.Items.Load(); got != 8 {
+		t.Fatalf("Items = %d, want 8", got)
+	}
+	if got := m.Depth.Load(); got < 1 || got > 2 {
+		t.Fatalf("Depth high-water = %d, want within [1, 2]", got)
+	}
+}
+
+func TestStagePanicCapture(t *testing.T) {
+	s := Go("boom", func() error { panic("kernel exploded") })
+	err := s.Wait()
+	if err == nil {
+		t.Fatal("panic not captured")
+	}
+	for _, want := range []string{"boom", "kernel exploded"} {
+		if !containsStr(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+	ok := Go("fine", func() error { return nil })
+	if err := ok.Wait(); err != nil {
+		t.Fatalf("clean stage returned %v", err)
+	}
+	fail := Go("erring", func() error { return errors.New("deliberate") })
+	if err := fail.Wait(); err == nil || err.Error() != "deliberate" {
+		t.Fatalf("error stage returned %v", err)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -593,10 +593,11 @@ func fitGenerator(edges []edgedetect.Edge, members []int, gens []complex128, tar
 // edges are forgiven more generously.
 func validateHead(edges []edgedetect.Edge, st *Stream, siblings []complex128, target int, shadowed bool, cfg Config) bool {
 	head := 0
+	memo := newLatticeMemo(len(edges))
 	for k := 0; k < cfg.PreambleLen; k++ {
 		expect := st.Offset + float64(k)*st.Period
 		tol := float64(cfg.PosTol) + 2 + float64(k)*st.Period*cfg.DriftPPM/1e6
-		if eOccupied(edges, expect, tol, siblings, target) {
+		if eOccupied(edges, expect, tol, siblings, target, memo) {
 			head++
 		}
 	}
@@ -624,6 +625,25 @@ func cancellable(gens []complex128, target int) bool {
 	return false
 }
 
+// latticeMemo caches latticeFit results per edge index for one fixed
+// (gens, target) pair. The anchor scan and head validation re-test the
+// same edges at many overlapping scan positions, and each latticeFit
+// enumerates {−1,0,1}^n — caching the pure function's value is
+// bit-identical to recomputing it and removes the enumeration from all
+// repeat visits. NaN marks an uncomputed entry (latticeFit never
+// returns NaN for finite inputs: dsp.Dist of finite values is finite).
+type latticeMemo struct {
+	with, without []float64
+}
+
+func newLatticeMemo(n int) *latticeMemo {
+	m := &latticeMemo{with: make([]float64, n), without: make([]float64, n)}
+	for i := range m.with {
+		m.with[i] = math.NaN()
+	}
+	return m
+}
+
 // eOccupied reports whether an edge near pos plausibly contains a ±1
 // component of gens[target] — i.e. whether this stream toggled there,
 // alone or inside a collision with its sibling generators. The test
@@ -632,8 +652,9 @@ func cancellable(gens []complex128, target int) bool {
 // — and declares occupancy when including the target's contribution
 // improves the fit by a meaningful margin. This stays correct under
 // destructive interference (|e+f| < |f|), where any magnitude-
-// reduction heuristic fails.
-func eOccupied(edges []edgedetect.Edge, pos, tol float64, gens []complex128, target int) bool {
+// reduction heuristic fails. memo, when non-nil, must have been built
+// for this exact (edges, gens, target) triple.
+func eOccupied(edges []edgedetect.Edge, pos, tol float64, gens []complex128, target int, memo *latticeMemo) bool {
 	e := gens[target]
 	eAbs := dsp.Abs(e)
 	if eAbs == 0 {
@@ -646,8 +667,15 @@ func eOccupied(edges []edgedetect.Edge, pos, tol float64, gens []complex128, tar
 		if float64(edges[i].Last) < pos-tol {
 			continue
 		}
-		d := edges[i].Diff
-		with, without := latticeFit(d, gens, target)
+		var with, without float64
+		if memo != nil && !math.IsNaN(memo.with[i]) {
+			with, without = memo.with[i], memo.without[i]
+		} else {
+			with, without = latticeFit(edges[i].Diff, gens, target)
+			if memo != nil {
+				memo.with[i], memo.without[i] = with, without
+			}
+		}
 		if with < without-0.2*eAbs {
 			return true
 		}
@@ -706,6 +734,7 @@ func AnchorFor(edges []edgedetect.Edge, offset, period float64, e complex128, cf
 func anchorScan(edges []edgedetect.Edge, offset, period float64, gens []complex128, target int, shadowed bool, cfg Config) float64 {
 	m := int(offset / period)
 	earliest := offset - float64(m)*period
+	memo := newLatticeMemo(len(edges))
 	occ := func(pos float64, slotsAway int) bool {
 		// Tolerance grows with distance from the fit origin: clock
 		// drift accumulates per slot, which matters at slow rates
@@ -715,7 +744,7 @@ func anchorScan(edges []edgedetect.Edge, offset, period float64, gens []complex1
 			away = -away
 		}
 		tol := float64(cfg.PosTol) + 2 + float64(away)*period*cfg.DriftPPM/1e6
-		return eOccupied(edges, pos, tol, gens, target)
+		return eOccupied(edges, pos, tol, gens, target, memo)
 	}
 	// When a near-antipodal sibling can swallow co-toggle edges,
 	// missing preamble edges are expected and must not be penalized.

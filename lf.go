@@ -326,6 +326,21 @@ type DecoderConfig struct {
 	// 1 = serial). Decodes are bit-identical at any setting; the knob
 	// only trades wall-clock for cores.
 	Parallelism int
+	// PipelineParallelism selects the streaming decoder's execution
+	// shape: 0 or 1 runs every stage inline on the pushing goroutine;
+	// ≥ 2 runs edge detection and walking/commit as a
+	// pipeline-parallel stage graph on their own goroutines, so
+	// detection of one block overlaps walking of the previous one on
+	// multicore hosts. Decodes are bit-identical either way; only
+	// wall-clock and the moment OnFrame/Tracer callbacks fire (still
+	// the pushing goroutine, slightly later) change. Batch Decode
+	// ignores it.
+	PipelineParallelism int
+	// StageDepth bounds each inter-stage queue of the pipelined
+	// streaming decoder, in blocks (0 = default). Deeper queues
+	// absorb stage-time jitter but buffer more pushed samples, which
+	// RetainedBytes accounts for.
+	StageDepth int
 	// CalibSamples bounds the edge detector's noise calibration to the
 	// capture's first CalibSamples positions. Setting it is what lets a
 	// streaming decode start emitting frames — and bound its memory —
@@ -466,6 +481,8 @@ func NewDecoder(cfg DecoderConfig) (*Decoder, error) {
 	dc.Separation = cfg.Separation
 	dc.Streams.Registration = cfg.Registration
 	dc.Parallelism = cfg.Parallelism
+	dc.PipelineParallelism = cfg.PipelineParallelism
+	dc.StageDepth = cfg.StageDepth
 	dc.CalibSamples = cfg.CalibSamples
 	dc.ViterbiWindow = cfg.ViterbiWindow
 	dc.ForceDenseSweep = cfg.ForceDenseSweep
@@ -550,6 +567,13 @@ func (d *Decoder) NewStream() (*StreamDecoder, error) {
 
 // Push feeds one block of IQ samples.
 func (s *StreamDecoder) Push(block []complex128) error { return s.sd.Push(block) }
+
+// PushOwned is Push with ownership transfer: the decoder recycles the
+// block (which must come from a pool or be otherwise relinquished)
+// once consumed, so a reader front end — iq.BlockReader.ReadBlock —
+// can hand pooled buffers to the pipelined decoder with zero copies.
+// The caller must not touch block afterwards.
+func (s *StreamDecoder) PushOwned(block []complex128) error { return s.sd.PushOwned(block) }
 
 // Flush marks end of capture, drains the pipeline, and returns the
 // final result.

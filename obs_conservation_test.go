@@ -24,7 +24,7 @@ func checkConservation(t *testing.T, s *lf.Stats, res *lf.Result) {
 	t.Helper()
 	c := s.Counter
 	type identity struct {
-		name        string
+		name       string
 		total, sum int64
 	}
 	checks := []identity{
