@@ -2,8 +2,8 @@ GO ?= go
 FUZZTIME ?= 30s
 
 .PHONY: all build vet test race race-stream bench benchjson benchguard \
-	fuzz fuzz-smoke kernel-smoke obs-smoke stage-smoke robustness-smoke \
-	profile ci clean
+	fuzz fuzz-smoke kernel-smoke obs-smoke stage-smoke shard-smoke \
+	robustness-smoke profile ci clean
 
 all: build
 
@@ -83,6 +83,15 @@ stage-smoke:
 	$(GO) test -race ./internal/stage
 	$(GO) run ./cmd/lfbench -exp stages -quick
 
+# Sharded-decode smoke: the shard-vs-serial byte-identity sweep (shard
+# counts {1,2,8} x block sizes x all fault kinds, stage-graph
+# composition, batch + SIC inheritance, stats conservation, shutdown
+# leak check) under the race detector, plus the shard pool/tiling
+# primitives' unit tests.
+shard-smoke:
+	$(GO) test -race -run 'TestSharded' .
+	$(GO) test -race ./internal/shard
+
 # One-epoch robustness sweep: fault injection across severities with
 # the streaming==batch degraded-identity check enforced per point.
 robustness-smoke:
@@ -94,7 +103,7 @@ profile:
 	$(GO) run ./cmd/lfbench -benchjson /tmp/lfbench-profile.json \
 		-cpuprofile lfbench.cpu.prof -memprofile lfbench.mem.prof
 
-ci: vet build test race race-stream fuzz-smoke kernel-smoke obs-smoke stage-smoke robustness-smoke benchguard
+ci: vet build test race race-stream fuzz-smoke kernel-smoke obs-smoke stage-smoke shard-smoke robustness-smoke benchguard
 
 clean:
 	$(GO) clean ./...

@@ -2,16 +2,20 @@ package main
 
 // Bench-regression guard (-benchguard BASELINE). Re-runs the
 // micro-benchmark suite and compares the hot-path stages against the
-// committed baseline document, failing on a >15% ns/op or allocs/op
+// committed baseline section recorded on a machine of the same shape
+// (num_cpu, gomaxprocs), failing on a >15% ns/op or allocs/op
 // regression. Only the pipeline stages whose performance this repo
-// actively defends are gated (decode, edgedetect, decode/streaming);
-// synthesize and serialization are informational.
+// actively defends are gated (decode, edgedetect, decode/streaming and
+// its pipelined/sharded variants); synthesize and serialization are
+// informational. A machine with no recorded section FAILS the guard —
+// the old warn-and-skip silently waived the gate on every multi-core
+// box because the committed baseline was 1-core only.
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 )
 
 // guardThreshold is the fractional regression the guard tolerates
@@ -30,7 +34,15 @@ var guardedBenches = map[string]bool{
 	"edgedetect":                 true,
 	"decode/streaming":           true,
 	"decode/streaming/pipelined": true,
+	"decode/streaming/sharded":   true,
 }
+
+// shardedRealtimeFloor is the absolute realtime_factor_sharded gate on
+// multi-core machines: with cores to fan the sweep across, the sharded
+// streaming decode must keep up with a live SDR feed. Single-core
+// machines only gate the relative regression — there is no parallelism
+// to buy the margin with.
+const shardedRealtimeFloor = 1.0
 
 // runBenchGuard loads the committed baseline, re-runs the suite, and
 // returns an error describing every gated benchmark that regressed.
@@ -39,24 +51,28 @@ func runBenchGuard(baselinePath string, seed int64) error {
 	if err != nil {
 		return fmt.Errorf("reading baseline: %w", err)
 	}
-	var baseline benchReport
-	if err := json.Unmarshal(data, &baseline); err != nil {
+	bb, err := loadBaseline(data)
+	if err != nil {
 		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
 	}
-	// A baseline recorded on a machine with a different core count (or a
-	// restricted GOMAXPROCS) is not comparable: the parallel rungs of
-	// its worker sweep measured different real concurrency, so gating
-	// against it produces both false regressions and false passes. Warn
-	// loudly and skip the gated comparison rather than fail CI on a
-	// meaningless diff.
-	comparable := true
-	if baseline.NumCPU != runtime.NumCPU() || baseline.GOMAXPROCS != baseline.NumCPU {
-		fmt.Fprintf(os.Stderr,
-			"benchguard: WARNING: baseline %s was recorded with num_cpu=%d gomaxprocs=%d but this machine has %d CPUs;\n"+
-				"benchguard: the gated comparison is not meaningful across machines — SKIPPING all gated stages.\n"+
-				"benchguard: re-record the baseline on this machine with `lfbench -benchjson %s`.\n",
-			baselinePath, baseline.NumCPU, baseline.GOMAXPROCS, runtime.NumCPU(), baselinePath)
-		comparable = false
+	// A baseline section recorded on a machine with a different core
+	// count (or a restricted GOMAXPROCS) is not comparable: the parallel
+	// rungs of its worker sweep measured different real concurrency.
+	// The gate therefore compares only against the section matching this
+	// machine's shape — and a missing section is a hard failure with
+	// re-record guidance, not a skip: skipping silently waived every
+	// gated stage on any box the baseline wasn't recorded on.
+	ncpu := runtime.NumCPU()
+	baseline := bb.section(ncpu, ncpu)
+	if baseline == nil {
+		have := make([]string, 0, len(bb.Sections))
+		for _, s := range bb.Sections {
+			have = append(have, fmt.Sprintf("num_cpu=%d/gomaxprocs=%d", s.NumCPU, s.GOMAXPROCS))
+		}
+		return fmt.Errorf(
+			"no baseline section for this machine (num_cpu=%d): %s has [%s]; "+
+				"record this machine's section with `lfbench -benchjson %s` and commit it",
+			ncpu, baselinePath, strings.Join(have, ", "), baselinePath)
 	}
 	base := make(map[string]benchResult, len(baseline.Benchmarks))
 	for _, b := range baseline.Benchmarks {
@@ -69,47 +85,57 @@ func runBenchGuard(baselinePath string, seed int64) error {
 	}
 
 	var failures []string
-	if comparable {
-		for _, b := range fresh.Benchmarks {
-			if !guardedBenches[b.Name] {
-				continue
-			}
-			key := fmt.Sprintf("%s/w%d", b.Name, b.Workers)
-			ref, ok := base[key]
-			if !ok {
-				failures = append(failures, fmt.Sprintf("%s: missing from baseline (regenerate with -benchjson)", key))
-				continue
-			}
-			nsRatio := b.NsPerOp / ref.NsPerOp
-			allocRatio := float64(b.AllocsPerOp) / float64(ref.AllocsPerOp)
-			status := "ok"
-			if nsRatio > 1+guardThreshold {
-				status = "FAIL"
-				failures = append(failures, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (%+.1f%%)",
-					key, b.NsPerOp, ref.NsPerOp, 100*(nsRatio-1)))
-			}
-			if allocRatio > 1+guardThreshold {
-				status = "FAIL"
-				failures = append(failures, fmt.Sprintf("%s: allocs/op %d vs baseline %d (%+.1f%%)",
-					key, b.AllocsPerOp, ref.AllocsPerOp, 100*(allocRatio-1)))
-			}
-			fmt.Printf("%-24s ns/op %11.0f (%+6.1f%%)  allocs/op %5d (%+6.1f%%)  %s\n",
-				key, b.NsPerOp, 100*(nsRatio-1), b.AllocsPerOp, 100*(allocRatio-1), status)
+	for _, b := range fresh.Benchmarks {
+		if !guardedBenches[b.Name] {
+			continue
 		}
+		key := fmt.Sprintf("%s/w%d", b.Name, b.Workers)
+		ref, ok := base[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from baseline (regenerate with -benchjson)", key))
+			continue
+		}
+		nsRatio := b.NsPerOp / ref.NsPerOp
+		allocRatio := float64(b.AllocsPerOp) / float64(ref.AllocsPerOp)
+		status := "ok"
+		if nsRatio > 1+guardThreshold {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (%+.1f%%)",
+				key, b.NsPerOp, ref.NsPerOp, 100*(nsRatio-1)))
+		}
+		if allocRatio > 1+guardThreshold {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %d vs baseline %d (%+.1f%%)",
+				key, b.AllocsPerOp, ref.AllocsPerOp, 100*(allocRatio-1)))
+		}
+		fmt.Printf("%-24s ns/op %11.0f (%+6.1f%%)  allocs/op %5d (%+6.1f%%)  %s\n",
+			key, b.NsPerOp, 100*(nsRatio-1), b.AllocsPerOp, 100*(allocRatio-1), status)
 	}
-	// Realtime-factor gate: the streaming decoder's headline throughput
-	// metric must not regress >15% against the committed baseline. Like
-	// every baseline comparison it is skipped (with the warning above)
-	// when the machine is not comparable.
-	if comparable && baseline.Streaming != nil && fresh.Streaming != nil && baseline.Streaming.RealtimeFactor > 0 {
-		b, f := baseline.Streaming.RealtimeFactor, fresh.Streaming.RealtimeFactor
+	// Realtime-factor gates: the streaming decoder's headline throughput
+	// metrics must not regress >15% against this machine's baseline
+	// section, and on a multi-core machine the sharded decode must
+	// additionally clear the absolute realtime floor.
+	rtGate := func(name string, b, f float64) {
+		if b <= 0 || f <= 0 {
+			return
+		}
 		status := "ok"
 		if f < b*(1-guardThreshold) {
 			status = "FAIL"
 			failures = append(failures, fmt.Sprintf(
-				"realtime_factor: %.4f vs baseline %.4f (%+.1f%%)", f, b, 100*(f/b-1)))
+				"%s: %.4f vs baseline %.4f (%+.1f%%)", name, f, b, 100*(f/b-1)))
 		}
-		fmt.Printf("%-24s %11.4f (%+6.1f%% vs %.4f)  %s\n", "realtime-factor", f, 100*(f/b-1), b, status)
+		fmt.Printf("%-24s %11.4f (%+6.1f%% vs %.4f)  %s\n", name, f, 100*(f/b-1), b, status)
+	}
+	if baseline.Streaming != nil && fresh.Streaming != nil {
+		rtGate("realtime-factor", baseline.Streaming.RealtimeFactor, fresh.Streaming.RealtimeFactor)
+		rtGate("realtime-factor-sharded", baseline.Streaming.RealtimeFactorSharded, fresh.Streaming.RealtimeFactorSharded)
+	}
+	if ncpu >= 2 && fresh.Streaming != nil && fresh.Streaming.RealtimeFactorSharded > 0 &&
+		fresh.Streaming.RealtimeFactorSharded < shardedRealtimeFloor {
+		failures = append(failures, fmt.Sprintf(
+			"realtime_factor_sharded %.4f below the %.1f floor on a %d-core machine",
+			fresh.Streaming.RealtimeFactorSharded, shardedRealtimeFloor, ncpu))
 	}
 	// Instrumentation overhead gate: measured within this run, so it
 	// applies regardless of baseline comparability.

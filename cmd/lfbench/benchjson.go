@@ -12,9 +12,11 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -79,6 +81,13 @@ type streamingMetrics struct {
 	// host it tracks RealtimeFactor minus queue overhead; with spare
 	// cores the detect and walk stages overlap and it pulls ahead.
 	RealtimeFactorPipelined float64 `json:"realtime_factor_pipelined,omitempty"`
+	// RealtimeFactorSharded is the same measurement with the
+	// data-parallel sharded sweep (DecoderConfig.ShardParallelism), at
+	// the best shard count in the swept ladder. On a single-core host
+	// it tracks RealtimeFactor minus stripe-dispatch overhead; with
+	// spare cores the sweep fans out and this is the decoder's best
+	// realtime margin. Gated by -benchguard like RealtimeFactor.
+	RealtimeFactorSharded float64 `json:"realtime_factor_sharded,omitempty"`
 	// PeakRetainedBytes is the high-water mark of RetainedBytes across
 	// the push sequence; CaptureBytes is what batch decode would hold.
 	PeakRetainedBytes int64 `json:"peak_retained_bytes"`
@@ -255,6 +264,57 @@ func profilePipelined(net *lf.Network, ep *lf.Epoch) (benchResult, float64, erro
 	return r, rt, nil
 }
 
+// shardSweepCounts is the shard-count ladder the sharded streaming
+// decode is measured at: 2, 4, ... capped at the core count, but
+// always including 2 — a single-core box still records the sharded
+// row (quantifying dispatch overhead) rather than silently omitting
+// the decoder's headline scaling number.
+func shardSweepCounts() []int {
+	sweep := []int{2}
+	for w := 4; w <= runtime.NumCPU(); w *= 2 {
+		sweep = append(sweep, w)
+	}
+	return sweep
+}
+
+// profileSharded measures the sharded streaming decode across the
+// shard-count ladder and returns the benchmark rows plus the best
+// realtime factor achieved.
+func profileSharded(net *lf.Network, ep *lf.Epoch) ([]benchResult, float64, error) {
+	var rows []benchResult
+	best := 0.0
+	for _, w := range shardSweepCounts() {
+		cfg := net.DecoderConfig()
+		cfg.CalibSamples = streamBenchCalib
+		cfg.ShardParallelism = w
+		dec, err := lf.NewDecoder(cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		r := measure("decode/streaming/sharded", w, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := dec.NewStream()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ep.Blocks(streamBenchBlock, s.Push); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rows = append(rows, r)
+		if r.NsPerOp > 0 {
+			if rt := float64(ep.Capture.Len()) / (r.NsPerOp / 1e9) / ep.Capture.SampleRate; rt > best {
+				best = rt
+			}
+		}
+	}
+	return rows, best, nil
+}
+
 // pairedOverheadRatio measures the instrumented-vs-NoStats streaming
 // decode cost ratio with alternating single passes and a min-of-rounds
 // estimator. Interleaving cancels slow drift (thermal, frequency
@@ -312,13 +372,83 @@ func pairedOverheadRatio(ep *lf.Epoch, instrumented, noStats *lf.Decoder) (float
 	return float64(minI) / float64(minN), nil
 }
 
-// writeBenchJSON runs the suite and writes the report to path.
+// benchBaseline is the on-disk baseline document: one recorded report
+// per machine shape, keyed by (num_cpu, gomaxprocs). A single file can
+// then hold the 1-core CI section and a multi-core workstation section
+// side by side, and -benchguard compares against the section matching
+// the machine it runs on instead of warning-and-skipping whenever the
+// committed baseline came from a different box.
+type benchBaseline struct {
+	Sections []*benchReport `json:"sections"`
+}
+
+// loadBaseline parses a baseline document, accepting both the sectioned
+// format and the legacy single-report layout (treated as a one-section
+// document keyed by its own num_cpu/gomaxprocs).
+func loadBaseline(data []byte) (*benchBaseline, error) {
+	var bb benchBaseline
+	if err := json.Unmarshal(data, &bb); err == nil && len(bb.Sections) > 0 {
+		return &bb, nil
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	if r.NumCPU == 0 {
+		return nil, fmt.Errorf("baseline has neither sections nor a legacy report")
+	}
+	return &benchBaseline{Sections: []*benchReport{&r}}, nil
+}
+
+// section returns the report recorded on a machine with the given
+// shape, or nil.
+func (bb *benchBaseline) section(numCPU, gomaxprocs int) *benchReport {
+	for _, s := range bb.Sections {
+		if s.NumCPU == numCPU && s.GOMAXPROCS == gomaxprocs {
+			return s
+		}
+	}
+	return nil
+}
+
+// upsert replaces the section matching report's machine shape, or
+// appends one, keeping sections ordered by core count for stable
+// diffs.
+func (bb *benchBaseline) upsert(r *benchReport) {
+	for i, s := range bb.Sections {
+		if s.NumCPU == r.NumCPU && s.GOMAXPROCS == r.GOMAXPROCS {
+			bb.Sections[i] = r
+			return
+		}
+	}
+	bb.Sections = append(bb.Sections, r)
+	sort.Slice(bb.Sections, func(i, j int) bool {
+		a, b := bb.Sections[i], bb.Sections[j]
+		if a.NumCPU != b.NumCPU {
+			return a.NumCPU < b.NumCPU
+		}
+		return a.GOMAXPROCS < b.GOMAXPROCS
+	})
+}
+
+// writeBenchJSON runs the suite and upserts this machine's section into
+// the baseline document at path, preserving sections recorded on other
+// machine shapes.
 func writeBenchJSON(path string, seed int64) error {
 	report, err := buildBenchReport(seed)
 	if err != nil {
 		return err
 	}
-	data, err := json.MarshalIndent(report, "", "  ")
+	bb := &benchBaseline{}
+	if prev, err := os.ReadFile(path); err == nil {
+		if loaded, lerr := loadBaseline(prev); lerr == nil {
+			bb = loaded
+		} else {
+			fmt.Fprintf(os.Stderr, "lfbench: %s is not a baseline document (%v); rewriting it\n", path, lerr)
+		}
+	}
+	bb.upsert(report)
+	data, err := json.MarshalIndent(bb, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -410,6 +540,13 @@ func buildBenchReport(seed int64) (*benchReport, error) {
 	}
 	streaming.RealtimeFactorPipelined = pipeRT
 	report.Benchmarks = append(report.Benchmarks, pipeBench)
+
+	shardRows, shardRT, err := profileSharded(net, ep)
+	if err != nil {
+		return nil, err
+	}
+	streaming.RealtimeFactorSharded = shardRT
+	report.Benchmarks = append(report.Benchmarks, shardRows...)
 
 	// A/B instrumented vs uninstrumented streaming decode. The decode
 	// itself is bit-identical; the ratio is the pure metrics cost and

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	lfsim [-tags N] [-rate bps] [-payload-ms ms] [-seed N] [-workers N]
-//	      [-stream] [-block N] [-calib N] [-pipeline N]
+//	      [-stream] [-block N] [-calib N] [-pipeline N] [-shards N]
 //	      [-record FILE] [-replay FILE]
 //	      [-fault SPEC] [-fault-seed N] [-stats] [-v]
 //
@@ -14,6 +14,11 @@
 // pipeline-parallel stage graph (edge detection and walking overlap on
 // separate goroutines). The decode is bit-identical either way; with
 // -stats the per-stage queue counters show the overlap.
+//
+// -shards (with -stream) adds data parallelism within the detect
+// stage: the differential sweep is carved into seam-safe stripes
+// decoded by a worker pool. Byte-identical at any shard count, and it
+// composes with -pipeline; -stats shows the stripe counters.
 //
 // -fault injects deterministic impairments before decoding, e.g.
 // -fault burst:0.5,dropout:0.3,nonfinite:1 — see internal/fault for
@@ -51,6 +56,7 @@ func main() {
 	block := flag.Int("block", 8192, "streaming block size in samples (with -stream)")
 	calib := flag.Int64("calib", 32768, "noise-calibration sample budget for -stream (0 defers decoding to end of capture)")
 	pipeline := flag.Int("pipeline", 0, "streaming stage-graph parallelism (with -stream): 0/1 = inline, >=2 = pipelined detect/walk stages; bit-identical either way")
+	shards := flag.Int("shards", 0, "data-parallel shard workers for the streaming sweep (with -stream): 0/1 = off, >=2 = sharded; byte-identical at any count and composes with -pipeline")
 	faultSpec := flag.String("fault", "", "inject faults before decoding: comma-separated kind:severity list (e.g. burst:0.5,dropout:0.3)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed for the fault injectors (same seed, same spec: byte-identical impairment)")
 	stats := flag.Bool("stats", false, "dump pipeline metrics (expvar-style text) after the decode")
@@ -83,6 +89,7 @@ func main() {
 	if *stream {
 		dcfg.CalibSamples = *calib
 		dcfg.PipelineParallelism = *pipeline
+		dcfg.ShardParallelism = *shards
 		dcfg.OnFrame = func(*lf.StreamResult) {
 			if firstFrame < 0 {
 				firstFrame = pushed

@@ -96,6 +96,20 @@ type Config struct {
 	// moment OnFrame/Tracer callbacks fire (still the pushing
 	// goroutine, slightly later) differ. Batch Decode ignores it.
 	PipelineParallelism int
+	// ShardParallelism ≥ 2 runs the decode data-parallel across
+	// cores: the dominant per-sample stage (the differential
+	// magnitude sweep) is carved into seam-safe overlapping shards
+	// computed concurrently on a pull-based worker pool
+	// (internal/shard, edgedetect stripe mode), and the slot walkers
+	// fan out across the pool once streams register. The shard
+	// overlap derives from the pipeline's provably-final cut
+	// distances (DESIGN.md §15), so the decode is byte-identical to
+	// ShardParallelism = 1 at any shard count and composes freely
+	// with PipelineParallelism (the detect stage owns the shard
+	// pool). 0 or 1 disables sharding. Batch Decode honours it too —
+	// the capture is pushed as one block and the shards drain at
+	// Flush — as do SIC residual decodes, which inherit the setting.
+	ShardParallelism int
 	// StageDepth bounds each inter-stage queue of the pipelined
 	// streaming decoder, in blocks/tokens (0 selects
 	// DefaultStageDepth, minimum 1). Deeper queues absorb stage-time

@@ -41,6 +41,7 @@ import (
 type StreamDecoder struct {
 	cfg        Config
 	workers    int
+	shardW     int // ≥ 2 when sharded decode is on (Config.ShardParallelism)
 	sampleRate float64
 	det        *edgedetect.Stream
 	dv         detSource // what pump reads; see detSource
@@ -117,9 +118,14 @@ func NewStreamDecoder(sampleRate float64, cfg Config) (*StreamDecoder, error) {
 	if m.Registry != nil {
 		meter = &work.Meter{Batches: m.Work.Batches, Tasks: m.Work.Tasks, Occupancy: m.Work.Occupancy}
 	}
+	shardW := 0
+	if cfg.ShardParallelism >= 2 {
+		shardW = cfg.ShardParallelism
+	}
 	det, err := edgedetect.NewStream(edgedetect.StreamConfig{
 		Config: ecfg, CalibSamples: cfg.CalibSamples,
 		Metrics: m.Edge, Meter: meter,
+		ShardWorkers: shardW, Shards: m.Shard,
 	})
 	if err != nil {
 		return nil, err
@@ -127,6 +133,7 @@ func NewStreamDecoder(sampleRate float64, cfg Config) (*StreamDecoder, error) {
 	sd := &StreamDecoder{
 		cfg:        cfg,
 		workers:    workers,
+		shardW:     shardW,
 		sampleRate: sampleRate,
 		det:        det,
 		src:        rng.New(cfg.Seed),
@@ -427,7 +434,6 @@ func (sd *StreamDecoder) register() {
 	sd.walkers = make([]*streams.Walker, len(sts))
 	sd.results = make([]*StreamResult, len(sts))
 	sd.quarantined = make([]string, len(sts))
-	drift := 1 + sd.cfg.Streams.DriftPPM/1e6
 	for i, st := range sts {
 		n := streams.FrameSlots(sd.cfg.Streams, sd.cfg.PayloadBits(st.Rate)) + alignSlack
 		sd.walkers[i] = streams.NewWalker(st, sd.cfg.Streams, n)
@@ -440,7 +446,7 @@ func (sd *StreamDecoder) register() {
 		// The commit stage (splitting, collision resolution) may re-walk
 		// a frame from its anchor; hold it until every edge a re-walk
 		// could pick is final.
-		end := int64(st.Offset+float64(n+2)*st.Period*drift) + sd.cfg.Streams.PosTol + 64
+		end := streams.WalkHorizon(sd.cfg.Streams, st.Offset, st.Period, n)
 		if end > sd.commitCut {
 			sd.commitCut = end
 		}
@@ -449,29 +455,44 @@ func (sd *StreamDecoder) register() {
 
 // stepWalkers advances every live walker while its next step's inputs
 // — the edges inside its pick window and the samples under its soft
-// measurement — are final.
+// measurement — are final. In sharded decode the walkers fan out
+// across the worker pool: each Step mutates only walker-local state
+// and performs pure reads on the detector source (finalized edges,
+// prefix-sum measurements), so per-walker goroutines are race-free,
+// and per-index quarantine capture keeps the panic taxonomy identical
+// to the serial loop.
 func (sd *StreamDecoder) stepWalkers() {
 	closed := sd.dv.Closed()
 	edgeDone := sd.dv.EdgeComplete()
 	front := sd.dv.Front()
 	measureSpan := sd.cfg.Edge.Gap + sd.cfg.Edge.Win + 1
-	for i, w := range sd.walkers {
+	step := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				sd.quarantined[i] = fmt.Sprintf("%s: %v", StageWalk, r)
+			}
+		}()
+		w := sd.walkers[i]
+		for !w.Done() {
+			if !closed && (edgeDone < w.Horizon() || front < w.MeasurePos()+measureSpan) {
+				break
+			}
+			w.Step(sd.dv)
+		}
+	}
+	if sd.shardW >= 2 && len(sd.walkers) > 1 {
+		sd.meter.Do(sd.shardW, len(sd.walkers), func(i int) {
+			if sd.quarantined[i] == "" {
+				step(i)
+			}
+		})
+		return
+	}
+	for i := range sd.walkers {
 		if sd.quarantined[i] != "" {
 			continue
 		}
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					sd.quarantined[i] = fmt.Sprintf("%s: %v", StageWalk, r)
-				}
-			}()
-			for !w.Done() {
-				if !closed && (edgeDone < w.Horizon() || front < w.MeasurePos()+measureSpan) {
-					break
-				}
-				w.Step(sd.dv)
-			}
-		}()
+		step(i)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"lf/internal/dsp"
 	"lf/internal/obs"
 	"lf/internal/pool"
+	"lf/internal/shard"
 	"lf/internal/work"
 )
 
@@ -30,6 +31,15 @@ type StreamConfig struct {
 	// Meter, when non-nil, meters the differential sweep's worker-pool
 	// dispatch (runtime-class; see work.Meter).
 	Meter *work.Meter
+	// ShardWorkers ≥ 2 runs the differential sweep in shard mode: the
+	// sweep is carved into seam-safe stripes computed concurrently on a
+	// pull-based worker pool while the owner goroutine keeps pushing
+	// (see stripe.go). The detected edge set stays bit-identical at any
+	// worker count. 0 and 1 keep the serial in-push sweep.
+	ShardWorkers int
+	// Shards, when populated, receives shard-mode stripe counters
+	// (runtime-class). The zero value records nothing.
+	Shards obs.ShardMetrics
 }
 
 // Stream is an incremental edge detector: IQ samples are pushed in
@@ -94,6 +104,17 @@ type Stream struct {
 	magBase int64
 	magDone int64
 
+	// Shard mode (stripe.go): the pull-based stripe pool, the FIFO of
+	// in-flight stripes, the next position to stripe (stripeFront ≥
+	// magDone; [magDone, stripeFront) is covered by pending stripes),
+	// and the in-flight stripe-buffer bytes for RetainedBytes.
+	shards       *shard.Pool
+	shardWorkers int
+	stripes      []*stripe
+	stripeFront  int64
+	stripeBytes  int64
+	sm           obs.ShardMetrics
+
 	calibrated bool
 	floor      float64
 	threshold  float64
@@ -153,10 +174,14 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 		return nil, fmt.Errorf("edgedetect: negative CalibSamples %d", cfg.CalibSamples)
 	}
 	s := &Stream{cfg: cfg.Config, calib: cfg.CalibSamples, workers: work.Resolve(cfg.Parallelism),
-		em: cfg.Metrics, meter: cfg.Meter}
+		em: cfg.Metrics, meter: cfg.Meter, sm: cfg.Shards}
 	s.sumsRe = append(pool.Float(0), 0)
 	s.sumsIm = append(pool.Float(0), 0)
 	s.mag = pool.Float(0)
+	if cfg.ShardWorkers >= 2 {
+		s.shardWorkers = cfg.ShardWorkers
+		s.shards = shard.NewPool(s.shardWorkers, maxStripesInFlight*s.shardWorkers)
+	}
 	return s, nil
 }
 
@@ -178,6 +203,14 @@ func (s *Stream) Reset() {
 	s.qScale, s.qInv, s.qErr, s.qValid, s.maxComp = 0, 0, 0, 0, 0
 	s.mag = s.mag[:0]
 	s.magBase, s.magDone = 0, 0
+	if len(s.stripes) > 0 {
+		s.closeShards() // a mid-capture reset must not orphan workers
+	}
+	s.stripeFront = 0
+	if s.shardWorkers >= 2 && s.shards == nil {
+		// Close retired the pool; a reused stream gets a fresh one.
+		s.shards = shard.NewPool(s.shardWorkers, maxStripesInFlight*s.shardWorkers)
+	}
 	s.calibrated, s.floor, s.threshold = false, 0, 0
 	s.scanned = 0
 	s.raw, s.kept = s.raw[:0], s.kept[:0]
@@ -256,7 +289,8 @@ func (s *Stream) Push(block []complex128) error {
 	s.front += int64(len(block))
 	s.advance()
 	s.trim()
-	return nil
+	// Shard mode can surface a poisoned stripe's error at adoption.
+	return s.err
 }
 
 // Close marks end of capture, drains every pending stage, and frees
@@ -273,12 +307,17 @@ func (s *Stream) Close() error {
 		return nil
 	}
 	if s.front == 0 {
+		s.closeShards()
 		s.err = errors.New("edgedetect: capture has no samples")
 		return s.err
 	}
 	s.eof = true
 	s.total = s.front
 	s.advance()
+	s.closeShards() // advance drained every stripe; retire the workers
+	if s.err != nil {
+		return s.err
+	}
 	s.disableQuant() // no sweeps remain; only measurement survives Close
 	if s.mag != nil {
 		pool.PutFloat(s.mag)
@@ -297,6 +336,7 @@ func (s *Stream) Release() {
 		return
 	}
 	s.released = true
+	s.closeShards()
 	s.disableQuant()
 	pool.PutFloat(s.sumsRe)
 	pool.PutFloat(s.sumsIm)
@@ -363,7 +403,7 @@ func (s *Stream) SetLowWater(pos int64) {
 // shared pool and may carry slack amortized across unrelated decodes.
 func (s *Stream) RetainedBytes() int64 {
 	return int64(len(s.sumsRe)+len(s.sumsIm))*8 + int64(len(s.qRe)+len(s.qIm))*4 +
-		int64(len(s.mag))*8 +
+		int64(len(s.mag))*8 + s.stripeBytes +
 		int64(len(s.raw)+len(s.kept))*16 + s.nms.RetainedBytes() +
 		int64(len(s.groups)-s.ghead)*32
 }
@@ -578,7 +618,17 @@ func (s *Stream) advance() {
 	} else if sparse {
 		hi -= guard
 	}
-	if hi > s.magDone {
+	if s.shardOn() {
+		// Shard mode: the sweep runs on the stripe pool instead of
+		// inline; magDone advances as completed stripes are adopted in
+		// order (stripe.go). Every downstream stage is monotone in
+		// magDone, so the adoption lag delays decisions without changing
+		// them.
+		s.shardSweep(hi, sparse)
+		if s.err != nil {
+			return
+		}
+	} else if hi > s.magDone {
 		lo := s.magDone
 		count := int(hi - lo)
 		s.mag = extendFloats(s.mag, count)
@@ -655,8 +705,11 @@ func (s *Stream) advance() {
 		s.calibrated = true
 		// Calibration fixes the quantization scale; the shadow only pays
 		// off for sweeps still to come, so a capture that calibrates at
-		// Close (or one forced dense) never builds it.
-		if !s.eof && !s.cfg.DenseSweep && s.threshold > 0 && s.maxComp > 0 {
+		// Close (or one forced dense) never builds it. Shard mode skips
+		// it too: the backfill rewrites the shadow arrays under
+		// in-flight stripe readers, and the float64 tiers decide
+		// identically (stripe.go).
+		if !s.eof && !s.cfg.DenseSweep && s.threshold > 0 && s.maxComp > 0 && !s.shardOn() {
 			s.enableQuant()
 		}
 	}
@@ -873,6 +926,26 @@ func (s *Stream) dropSums(keep int64) {
 	}
 	drop := keep - s.sumBase
 	if drop < 1<<13 || int(drop) < len(s.sumsRe)/2 {
+		return
+	}
+	if s.shardOn() {
+		// Copy-out compaction: in-flight stripe workers — and, under
+		// the stage graph, published Views — hold slice-header
+		// snapshots of the current backing arrays, so instead of
+		// rewriting entries under them the retained tail moves into
+		// fresh arrays and the old ones are left, intact, to their
+		// readers (and the GC). No gate or drain needed, which matters
+		// in shard mode: a stripe is nearly always in flight and the
+		// fast detect stage keeps the ack gate closed, so a gated
+		// in-place compaction would almost never run. (The quantized
+		// shadow never exists in shard mode; see enableQuant.)
+		n := len(s.sumsRe) - int(drop)
+		re := pool.FloatUninit(n)
+		im := pool.FloatUninit(n)
+		copy(re, s.sumsRe[drop:])
+		copy(im, s.sumsIm[drop:])
+		s.sumsRe, s.sumsIm = re, im
+		s.sumBase = keep
 		return
 	}
 	// The in-place copy below rewrites entries a published View could

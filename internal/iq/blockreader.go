@@ -121,8 +121,9 @@ func (b *BlockReader) Read(dst []complex128) (int, error) {
 // from file to decoder with no further copies (the pipelined decoder
 // enqueues the buffer as-is and recycles it after detection). Returns
 // (nil, io.EOF) once the payload is exhausted; any other error follows
-// Read's contract. Callers that keep the buffer must recycle it with
-// pool.PutComplex themselves.
+// Read's contract, with the samples decoded before the error delivered
+// alongside it. Callers that keep a non-empty buffer must recycle it
+// with pool.PutComplex themselves.
 func (b *BlockReader) ReadBlock(n int) ([]complex128, error) {
 	if b.read >= b.count {
 		return nil, io.EOF
@@ -132,11 +133,17 @@ func (b *BlockReader) ReadBlock(n int) ([]complex128, error) {
 	}
 	dst := pool.ComplexUninit(n)
 	got, err := b.Read(dst)
-	if err != nil {
+	if got == 0 {
+		// Only an untouched buffer may go back: a short final read's
+		// buffer belongs to the caller — under a pipelined decode its
+		// predecessors from this very loop are still queued inside
+		// PushOwned, and recycling a buffer the caller is about to push
+		// (or has pushed) would let the pool hand the same backing array
+		// to a concurrent ComplexUninit and scribble over live samples.
 		pool.PutComplex(dst)
 		return nil, err
 	}
-	return dst[:got], nil
+	return dst[:got], err
 }
 
 // Close recycles the reader's internal buffer. The reader must not be

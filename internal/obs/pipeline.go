@@ -33,6 +33,7 @@ type Pipeline struct {
 	Work    WorkMetrics
 	Stage   StageTimings
 	Pipe    PipeMetrics
+	Shard   ShardMetrics
 }
 
 // EdgeMetrics instruments the edge detector. Conservation invariants:
@@ -185,6 +186,22 @@ type PipeMetrics struct {
 	IngestItems, TokenItems *Counter
 }
 
+// ShardMetrics instruments the sharded differential sweep
+// (ClassRuntime throughout: stripe boundaries and in-flight depth
+// depend on push cadence and worker scheduling, and per the sweep's
+// output-invariance argument they never influence a decode decision —
+// which is how sharded stats keep satisfying the decode-class
+// conservation identities).
+type ShardMetrics struct {
+	// Stripes counts sweep stripes dispatched to the shard pool;
+	// Samples totals the magnitude positions they own. Every position
+	// is owned by exactly one stripe, so Samples converges on the
+	// capture's computable magnitude span.
+	Stripes, Samples *Counter
+	// InFlight is the high-water count of stripes pending adoption.
+	InFlight *Gauge
+}
+
 // pathMarginBounds buckets the normalized Viterbi path margin: fractions
 // of a nat per slot at the low end, saturating at the single-survivor
 // sentinel scale.
@@ -273,6 +290,11 @@ func NewPipeline() *Pipeline {
 			TokenPopStall:   r.Timing("pipe.token_pop_stall_ns"),
 			IngestItems:     r.Counter("pipe.ingest_items", ClassRuntime),
 			TokenItems:      r.Counter("pipe.token_items", ClassRuntime),
+		},
+		Shard: ShardMetrics{
+			Stripes:  r.Counter("shard.stripes", ClassRuntime),
+			Samples:  r.Counter("shard.samples", ClassRuntime),
+			InFlight: r.Gauge("shard.inflight", ClassRuntime),
 		},
 	}
 }

@@ -76,6 +76,19 @@ func Float(n int) []float64 {
 	return make([]float64, n)
 }
 
+// FloatUninit is Float without the clear, for callers that provably
+// overwrite every element — e.g. a shard-sweep stripe buffer whose
+// kernel writes the full destination range.
+func FloatUninit(n int) []float64 {
+	if v := floatPool.Get(); v != nil {
+		buf := *v.(*[]float64)
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
 // PutFloat recycles a buffer obtained from Float.
 func PutFloat(buf []float64) {
 	if cap(buf) >= minRetain {

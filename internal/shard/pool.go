@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is a bounded pull-based worker pool: a fixed set of workers
+// range over a shared job queue, so an idle worker always pulls the
+// next pending shard — stragglers never stall completed neighbours,
+// and no coordinator thread assigns work (the celestia pull-based
+// distribution shape, brought in-process). Submission order is
+// preserved by the queue, but completion order is not; callers that
+// need in-order merge hold the Tickets in submission order and adopt
+// the head as it completes.
+type Pool struct {
+	jobs    chan func()
+	wg      sync.WaitGroup
+	workers int
+}
+
+// NewPool starts workers goroutines pulling from a queue of depth
+// backlog. Submissions beyond the backlog block until a worker frees a
+// slot, which is the memory bound: at most backlog+workers jobs exist
+// at once.
+func NewPool(workers, backlog int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if backlog < workers {
+		backlog = workers
+	}
+	p := &Pool{jobs: make(chan func(), backlog), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.jobs {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Go submits a job and returns its completion ticket. A panic inside
+// the job is captured into the ticket (the worker survives), so a
+// poisoned shard degrades to an error at adoption instead of killing
+// the pool.
+func (p *Pool) Go(fn func()) *Ticket {
+	t := &Ticket{ch: make(chan struct{})}
+	p.jobs <- func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.err = fmt.Errorf("shard: job panic: %v", r)
+			}
+			close(t.ch)
+		}()
+		fn()
+	}
+	return t
+}
+
+// Close retires the pool: no further Go calls are allowed, and Close
+// returns once every submitted job has finished and every worker has
+// exited.
+func (p *Pool) Close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// Ticket is a one-shot completion latch for a submitted job.
+type Ticket struct {
+	ch  chan struct{}
+	err error
+}
+
+// Ready reports whether the job has finished, without blocking.
+func (t *Ticket) Ready() bool {
+	select {
+	case <-t.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the job has finished.
+func (t *Ticket) Wait() { <-t.ch }
+
+// Err returns the job's captured panic, if any. Valid only after
+// Ready has returned true or Wait has returned.
+func (t *Ticket) Err() error { return t.err }

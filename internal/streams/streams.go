@@ -705,6 +705,20 @@ func RegistrationHorizon(cfg Config, payloadBits func(rate float64) int) int64 {
 	return int64(horizon) + cfg.PosTol + pickEdgeSpan + 64
 }
 
+// WalkHorizon returns the last sample position the commit stage can
+// read for one registered stream: a frame of slots payload slots (plus
+// the delimiter pair) walked from offset at period under worst-case
+// drift, widened by the edge-pick tolerance and localization slack.
+// It is the per-stream member of the provably-final cut family —
+// RegistrationHorizon bounds registration globally, WalkHorizon bounds
+// one stream's re-walk during commit — and together with the edge
+// detector's sweep reach it is what seam-safe shard overlap derives
+// from (internal/shard, DESIGN.md §15).
+func WalkHorizon(cfg Config, offset, period float64, slots int) int64 {
+	drift := 1 + cfg.DriftPPM/1e6
+	return int64(offset+float64(slots+2)*period*drift) + cfg.PosTol + 64
+}
+
 // pickEdge chooses an edge for a slot window: the closest edge whose
 // differential matches ±e (clean), or — when none matches — the
 // closest edge of any vector (foreign). Preferring the vector match

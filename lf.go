@@ -336,6 +336,17 @@ type DecoderConfig struct {
 	// the pushing goroutine, slightly later) change. Batch Decode
 	// ignores it.
 	PipelineParallelism int
+	// ShardParallelism ≥ 2 runs the decode data-parallel across
+	// cores: the differential sweep — the pipeline's dominant
+	// per-sample stage — is split into seam-safe overlapping shards
+	// computed concurrently on a pull-based worker pool, with
+	// overlap derived from the pipeline's provably-final cut
+	// distances and deterministic in-order merge (DESIGN.md §15).
+	// Decodes are byte-identical to ShardParallelism = 1 at any
+	// shard count, and the knob composes with PipelineParallelism.
+	// Unlike PipelineParallelism, batch Decode honours it too. 0 or
+	// 1 disables sharding.
+	ShardParallelism int
 	// StageDepth bounds each inter-stage queue of the pipelined
 	// streaming decoder, in blocks (0 = default). Deeper queues
 	// absorb stage-time jitter but buffer more pushed samples, which
@@ -482,6 +493,7 @@ func NewDecoder(cfg DecoderConfig) (*Decoder, error) {
 	dc.Streams.Registration = cfg.Registration
 	dc.Parallelism = cfg.Parallelism
 	dc.PipelineParallelism = cfg.PipelineParallelism
+	dc.ShardParallelism = cfg.ShardParallelism
 	dc.StageDepth = cfg.StageDepth
 	dc.CalibSamples = cfg.CalibSamples
 	dc.ViterbiWindow = cfg.ViterbiWindow

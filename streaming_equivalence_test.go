@@ -90,17 +90,24 @@ func TestStreamingMemoryBounded(t *testing.T) {
 	// pipelined run additionally exercises the RetainedBytes
 	// accounting for blocks buffered in the stage queues (the caller
 	// runs far ahead of the detect stage, so the ingest queue sits at
-	// its depth for most of the push loop).
-	t.Run("serial", func(t *testing.T) { testStreamingMemoryBounded(t, 0, 0) })
-	t.Run("pipelined", func(t *testing.T) { testStreamingMemoryBounded(t, 2, 4) })
+	// its depth for most of the push loop). The sharded runs pin the
+	// accounting with in-flight stripe buffers on top — alone and
+	// combined with the stage queues — and check the shard pool's
+	// workers all exit at Flush.
+	t.Run("serial", func(t *testing.T) { testStreamingMemoryBounded(t, 0, 0, 0) })
+	t.Run("pipelined", func(t *testing.T) { testStreamingMemoryBounded(t, 2, 4, 0) })
+	t.Run("sharded", func(t *testing.T) { testStreamingMemoryBounded(t, 0, 0, 2) })
+	t.Run("sharded+pipelined", func(t *testing.T) { testStreamingMemoryBounded(t, 2, 4, 2) })
 }
 
-func testStreamingMemoryBounded(t *testing.T, pipeline, stageDepth int) {
+func testStreamingMemoryBounded(t *testing.T, pipeline, stageDepth, shards int) {
+	before := runtime.NumGoroutine()
 	ep, cfg := buildEpoch(t, 2, 5)
 	cfg.CalibSamples = 32768
 	cfg.CancellationRounds = -1
 	cfg.PipelineParallelism = pipeline
 	cfg.StageDepth = stageDepth
+	cfg.ShardParallelism = shards
 	framesBeforeFlush := 0
 	cfg.OnFrame = func(*lf.StreamResult) { framesBeforeFlush++ }
 
@@ -151,6 +158,16 @@ func testStreamingMemoryBounded(t *testing.T, pipeline, stageDepth int) {
 	// the retained window must not keep growing with pushed length.
 	if atEnd > atDouble+1<<20 {
 		t.Fatalf("retained memory still growing in the tail: %d B at 2x capture, %d B at end", atDouble, atEnd)
+	}
+	// Stage and shard goroutines must all have exited with Flush.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before decode, %d after Flush", before, n)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
