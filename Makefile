@@ -3,7 +3,7 @@ FUZZTIME ?= 30s
 
 .PHONY: all build vet test race race-stream bench benchjson benchguard \
 	fuzz fuzz-smoke kernel-smoke obs-smoke stage-smoke shard-smoke \
-	robustness-smoke profile ci clean
+	dist-smoke robustness-smoke profile ci clean
 
 all: build
 
@@ -51,6 +51,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzBlockReader -fuzztime $(FUZZTIME) ./internal/iq
 	$(GO) test -run '^$$' -fuzz FuzzReadCapture -fuzztime $(FUZZTIME) ./internal/iq
 	$(GO) test -run '^$$' -fuzz FuzzStreamPush -fuzztime $(FUZZTIME) ./internal/decoder
+	$(GO) test -run '^$$' -fuzz FuzzWireFrame -fuzztime $(FUZZTIME) ./internal/dist
 
 # Short-budget fuzz pass for CI: enough executions to catch decode-path
 # panics on adversarial input without stalling the gate.
@@ -92,6 +93,17 @@ shard-smoke:
 	$(GO) test -race -run 'TestSharded' .
 	$(GO) test -race ./internal/shard
 
+# Distributed-decode smoke: the loopback acceptance matrix (worker
+# counts {1,2,4} x transport fault kinds at severity 0.5, forced
+# hedging, fleet-drain fallback, shard quarantine, stats conservation —
+# every cell asserting byte-identity against the single-machine sharded
+# decode) under the race detector, plus the wire/lease/hedge unit suite
+# and a two-worker transport-fault sweep through the bench harness.
+dist-smoke:
+	$(GO) test -race -run 'TestDistributed' .
+	$(GO) test -race ./internal/dist
+	$(GO) run ./cmd/lfbench -exp dist -quick
+
 # One-epoch robustness sweep: fault injection across severities with
 # the streaming==batch degraded-identity check enforced per point.
 robustness-smoke:
@@ -103,7 +115,7 @@ profile:
 	$(GO) run ./cmd/lfbench -benchjson /tmp/lfbench-profile.json \
 		-cpuprofile lfbench.cpu.prof -memprofile lfbench.mem.prof
 
-ci: vet build test race race-stream fuzz-smoke kernel-smoke obs-smoke stage-smoke shard-smoke robustness-smoke benchguard
+ci: vet build test race race-stream fuzz-smoke kernel-smoke obs-smoke stage-smoke shard-smoke dist-smoke robustness-smoke benchguard
 
 clean:
 	$(GO) clean ./...

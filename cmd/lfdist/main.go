@@ -1,0 +1,244 @@
+// Command lfdist runs one side of the distributed shard decode: a
+// coordinator that owns a capture and serves its sweep stripes over
+// TCP, or a worker that dials in and pulls stripes until stopped.
+//
+// Usage:
+//
+//	lfdist -coordinator [-addr host:port] [-replay FILE]
+//	       [-tags N] [-payload-ms ms] [-seed N]
+//	       [-shards N] [-block N] [-calib N]
+//	       [-min-workers N] [-wait-s s] [-lease-ms ms] [-hedge-ms ms]
+//	       [-fault SPEC] [-fault-seed N] [-stats] [-v]
+//	lfdist -worker -addr host:port [-name NAME]
+//	       [-fault SPEC] [-fault-seed N] [-v]
+//
+// The coordinator decodes one capture — a simulated epoch by default,
+// or a recorded LFIQ container with -replay — through the streaming
+// pipeline with its sweep stripes farmed out to whatever fleet is
+// connected. The decode is byte-identical to the single-machine
+// sharded decode at any fleet size, including zero: with no workers
+// every stripe falls back to local compute, so lfdist -coordinator
+// alone is just a slower lfsim.
+//
+// -fault takes transport-level kinds only (conndrop, stall,
+// partialwrite, corruptframe — see internal/fault) and impairs that
+// side's connections deterministically in -fault-seed. Running a
+// worker fleet against a coordinator with -fault 'conndrop:0.5' is the
+// command-line version of the robustness acceptance matrix: the
+// retries/hedges counters climb, the decoded bytes do not change.
+//
+// Workers serve until interrupted (SIGINT/SIGTERM); a lost coordinator
+// just means exponential-backoff redial, so start order is free.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lf"
+	"lf/internal/dist"
+	"lf/internal/fault"
+	"lf/internal/iq"
+)
+
+func main() {
+	coordinator := flag.Bool("coordinator", false, "run the coordinator: decode one capture, serving its stripes to the fleet")
+	worker := flag.Bool("worker", false, "run a worker: dial the coordinator and pull stripes until interrupted")
+	addr := flag.String("addr", "127.0.0.1:9650", "coordinator listen/dial address")
+	name := flag.String("name", "", "worker name in coordinator logs (default: pid-derived)")
+	replay := flag.String("replay", "", "decode a recorded capture (LFIQ container) instead of simulating")
+	tags := flag.Int("tags", 4, "number of simulated tags (without -replay)")
+	payloadMS := flag.Float64("payload-ms", 2, "payload airtime per simulated epoch (ms)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	shards := flag.Int("shards", 4, "shard stripes offered concurrently (in-process shard workers)")
+	block := flag.Int("block", 8192, "streaming block size in samples")
+	calib := flag.Int64("calib", 32768, "noise-calibration sample budget")
+	minWorkers := flag.Int("min-workers", 0, "wait for this many workers before decoding (0 starts immediately)")
+	waitS := flag.Float64("wait-s", 10, "how long to wait for -min-workers before decoding anyway")
+	leaseMS := flag.Int("lease-ms", 0, "shard lease timeout in ms (0 = default 2000)")
+	hedgeMS := flag.Int("hedge-ms", 0, "straggler hedge threshold in ms (0 = lease/2, negative disables)")
+	faultSpec := flag.String("fault", "", "impair this side's connections: comma-separated transport kind:severity list (e.g. conndrop:0.5,corruptframe:0.3)")
+	faultSeed := flag.Int64("fault-seed", 42, "seed for the transport injectors")
+	stats := flag.Bool("stats", false, "dump the coordinator's dist.* counters after the decode")
+	verbose := flag.Bool("v", false, "log connection lifecycle events")
+	flag.Parse()
+
+	if *coordinator == *worker {
+		fatal(fmt.Errorf("pick exactly one of -coordinator or -worker"))
+	}
+
+	var transport fault.TransportConfig
+	if *faultSpec != "" {
+		injs, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		wire, rest := fault.SplitTransport(injs)
+		if len(rest) > 0 {
+			fatal(fmt.Errorf("-fault %q: kind %q is not transport-level (lfdist impairs the wire; use lfsim for capture faults)", *faultSpec, rest[0].Kind))
+		}
+		transport = fault.TransportConfig{Seed: *faultSeed, Injectors: wire}
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+
+	if *worker {
+		if *name == "" {
+			*name = fmt.Sprintf("worker-%d", os.Getpid())
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		fmt.Printf("lfdist: worker %q pulling from %s\n", *name, *addr)
+		err := dist.RunWorker(ctx, dist.WorkerConfig{
+			Addr: *addr, Name: *name,
+			Transport: transport, Logf: logf,
+		})
+		if err != nil && ctx.Err() == nil {
+			fatal(err)
+		}
+		fmt.Println("lfdist: worker stopped")
+		return
+	}
+
+	c, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		Addr:         *addr,
+		LeaseTimeout: time.Duration(*leaseMS) * time.Millisecond,
+		HedgeAfter:   time.Duration(*hedgeMS) * time.Millisecond,
+		Transport:    transport,
+		Logf:         logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	fmt.Printf("lfdist: coordinator listening on %s\n", c.Addr())
+	if *minWorkers > 0 {
+		if c.WaitWorkers(*minWorkers, time.Duration(*waitS*float64(time.Second))) {
+			fmt.Printf("lfdist: fleet of %d connected\n", *minWorkers)
+		} else {
+			fmt.Printf("lfdist: only %d of %d workers arrived; decoding anyway (missing stripes compute locally)\n",
+				c.Workers(), *minWorkers)
+		}
+	}
+
+	dcfg, sampleRate, push, err := captureSource(*replay, *tags, *payloadMS, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	dcfg.CalibSamples = *calib
+	dcfg.ShardParallelism = *shards
+	dcfg.StripeRunner = c.RunStripe
+	dec, err := lf.NewDecoder(dcfg)
+	if err != nil {
+		fatal(err)
+	}
+	sd, err := dec.NewStream()
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	var pushed int64
+	if err := push(*block, func(blk []complex128) error {
+		pushed += int64(len(blk))
+		return sd.Push(blk)
+	}); err != nil {
+		fatal(err)
+	}
+	res, err := sd.Flush()
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("decoded %.2f ms of capture (%d samples) in %v\n",
+		float64(pushed)/sampleRate*1e3, pushed, elapsed.Round(time.Millisecond))
+	fmt.Printf("edges detected: %d (noise floor %.2e)\n", res.EdgeCount, res.NoiseFloor)
+	fmt.Printf("streams: %d\n", len(res.Streams))
+	for i, sr := range res.Streams {
+		fmt.Printf("  stream %2d: %s rate=%.0f offset=%.1f bits=%d conf=%.2f crc=%v\n",
+			i, sr.Stream.Source, sr.Stream.Rate, sr.Stream.Offset, len(sr.Bits), sr.Confidence, sr.CRCOK)
+	}
+	snap := c.Stats()
+	fmt.Printf("dist: %d shards served, %d retries, %d hedges, %d local fallbacks, %d KiB on the wire\n",
+		snap.Counter("dist.shards"), snap.Counter("dist.retries"),
+		snap.Counter("dist.hedges"), snap.Counter("dist.local"),
+		snap.Counter("dist.bytes")/1024)
+	if *stats {
+		if err := snap.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// captureSource resolves where the coordinator's samples come from: a
+// recorded LFIQ container, or a freshly simulated epoch. It returns the
+// decoder config for that capture, its sample rate, and a push function
+// that feeds the capture block-by-block into a sink. The -tags /
+// -payload-ms / -seed flags describe the recorded scenario in replay
+// mode (rates and payload sizes are not in the container), exactly as
+// lfsim -replay relies on its simulation flags; the sample rate comes
+// from the container itself.
+func captureSource(replay string, tags int, payloadMS float64, seed int64) (lf.DecoderConfig, float64, func(int, func([]complex128) error) error, error) {
+	net, err := lf.NewNetwork(lf.NetworkConfig{
+		NumTags:        tags,
+		PayloadSeconds: payloadMS * 1e-3,
+		Seed:           seed,
+	})
+	if err != nil {
+		return lf.DecoderConfig{}, 0, nil, err
+	}
+	if replay != "" {
+		f, err := os.Open(replay)
+		if err != nil {
+			return lf.DecoderConfig{}, 0, nil, err
+		}
+		br, err := iq.NewBlockReader(f)
+		if err != nil {
+			f.Close()
+			return lf.DecoderConfig{}, 0, nil, err
+		}
+		dcfg := net.DecoderConfig()
+		dcfg.SampleRate = br.SampleRate()
+		push := func(block int, sink func([]complex128) error) error {
+			defer f.Close()
+			defer br.Close()
+			buf := make([]complex128, block)
+			for {
+				n, err := br.Read(buf)
+				if n > 0 {
+					if serr := sink(buf[:n]); serr != nil {
+						return serr
+					}
+				}
+				if err == io.EOF {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+			}
+		}
+		return dcfg, br.SampleRate(), push, nil
+	}
+	ep, err := net.RunEpoch()
+	if err != nil {
+		return lf.DecoderConfig{}, 0, nil, err
+	}
+	push := func(block int, sink func([]complex128) error) error {
+		return ep.Blocks(block, sink)
+	}
+	return net.DecoderConfig(), ep.Config.SampleRate, push, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lfdist:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,335 @@
+package lf_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"lf"
+	"lf/internal/dist"
+	"lf/internal/fault"
+)
+
+// startFleet launches n workers against the coordinator and returns a
+// stop func (idempotent) that cancels them and waits for their loops to
+// exit. Each worker gets its own name so backoff jitter decorrelates.
+func startFleet(t *testing.T, c *dist.Coordinator, n int, mut func(i int, wc *dist.WorkerConfig)) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wc := dist.WorkerConfig{
+			Addr: c.Addr(),
+			Name: "w" + string(rune('0'+i)),
+		}
+		if mut != nil {
+			mut(i, &wc)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dist.RunWorker(ctx, wc)
+		}()
+	}
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			cancel()
+			wg.Wait()
+		})
+	}
+	t.Cleanup(stop)
+	if !c.WaitWorkers(n, 5*time.Second) {
+		stop()
+		t.Fatalf("fleet of %d never connected", n)
+	}
+	return stop
+}
+
+// distConfig is cfg rewired to serve its sweep stripes through the
+// coordinator instead of computing them in-process.
+func distConfig(cfg lf.DecoderConfig, c *dist.Coordinator) lf.DecoderConfig {
+	cfg.ShardParallelism = 4
+	cfg.StripeRunner = c.RunStripe
+	return cfg
+}
+
+// TestDistributedMatchesLocal is the acceptance matrix: distributed
+// decode over loopback TCP must be byte-identical to the single-machine
+// ShardParallelism decode for worker counts {1, 2, 4} crossed with
+// every transport fault kind at severity 0.5 on the coordinator's side
+// of each connection. Transport trouble may cost retries and hedges but
+// never bytes: the merge adopts stripes in submission order and every
+// valid result for a stripe carries identical floats.
+func TestDistributedMatchesLocal(t *testing.T) {
+	ep, cfg := buildEpoch(t, 4, 11)
+	cfg.CalibSamples = 32768
+	local := cfg
+	local.ShardParallelism = 4
+	want, wantID := streamDecodeSamples(t, ep.Capture.Samples, local, 8192)
+
+	cases := []struct {
+		name      string
+		transport fault.TransportConfig
+	}{{name: "clean"}}
+	for i, k := range fault.TransportKinds() {
+		cases = append(cases, struct {
+			name      string
+			transport fault.TransportConfig
+		}{
+			name: string(k),
+			transport: fault.TransportConfig{
+				Seed:      int64(300 + i),
+				Injectors: []fault.Injector{{Kind: k, Severity: 0.5}},
+			},
+		})
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		for _, tc := range cases {
+			t.Run(tc.name+"/"+string(rune('0'+workers)), func(t *testing.T) {
+				c, err := dist.NewCoordinator(dist.CoordinatorConfig{
+					LeaseTimeout: 500 * time.Millisecond,
+					Transport:    tc.transport,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(c.Close)
+				startFleet(t, c, workers, nil)
+
+				got, gotID := streamDecodeSamples(t, ep.Capture.Samples, distConfig(cfg, c), 8192)
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("distributed decode (%d workers, %s) diverged from local sharded decode", workers, tc.name)
+				}
+				if gotID != wantID {
+					t.Errorf("stats identity diverged (%d workers, %s):\nwant:\n%s\ngot:\n%s", workers, tc.name, wantID, gotID)
+				}
+				snap := c.Stats()
+				if snap.Counter("dist.shards") == 0 {
+					t.Error("coordinator served no shards — decode silently ran local")
+				}
+			})
+		}
+	}
+}
+
+// TestDistributedForcedHedging pins the straggler path: one worker
+// whose compute stalls far past HedgeAfter forces the monitor to
+// re-queue its shards for the healthy worker. First valid result wins;
+// the bytes must not care which worker it came from.
+func TestDistributedForcedHedging(t *testing.T) {
+	ep, cfg := buildEpoch(t, 4, 11)
+	cfg.CalibSamples = 32768
+	local := cfg
+	local.ShardParallelism = 4
+	want, wantID := streamDecodeSamples(t, ep.Capture.Samples, local, 8192)
+
+	c, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		LeaseTimeout: 2 * time.Second,
+		HedgeAfter:   20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	startFleet(t, c, 2, func(i int, wc *dist.WorkerConfig) {
+		if i == 0 {
+			wc.Compute = func(job *lf.StripeJob) {
+				time.Sleep(150 * time.Millisecond)
+				job.Run()
+			}
+		}
+	})
+
+	got, gotID := streamDecodeSamples(t, ep.Capture.Samples, distConfig(cfg, c), 8192)
+	if !reflect.DeepEqual(want, got) {
+		t.Error("decode under forced hedging diverged from local sharded decode")
+	}
+	if gotID != wantID {
+		t.Errorf("stats identity diverged under hedging:\nwant:\n%s\ngot:\n%s", wantID, gotID)
+	}
+	if h := c.Stats().Counter("dist.hedges"); h == 0 {
+		t.Error("stalled worker never triggered a hedge")
+	}
+}
+
+// TestDistributedFleetDrainFallsBack kills the whole fleet mid-decode:
+// the lone worker's compute wedges, its process dies, and every stripe
+// must still settle — re-queued on lease expiry, then computed locally
+// once the census hits zero. The result must not change.
+func TestDistributedFleetDrainFallsBack(t *testing.T) {
+	ep, cfg := buildEpoch(t, 4, 11)
+	cfg.CalibSamples = 32768
+	local := cfg
+	local.ShardParallelism = 4
+	want, wantID := streamDecodeSamples(t, ep.Capture.Samples, local, 8192)
+
+	c, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		LeaseTimeout: 100 * time.Millisecond,
+		HedgeAfter:   -1, // isolate the drain path from hedging
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	hold := make(chan struct{})
+	var wedged sync.Once
+	stop := startFleet(t, c, 1, func(i int, wc *dist.WorkerConfig) {
+		wc.Compute = func(job *lf.StripeJob) {
+			wedged.Do(func() {}) // a job actually reached the worker
+			<-hold
+		}
+	})
+	t.Cleanup(func() { close(hold) }) // runs after stop (LIFO): unwedge, then join
+
+	// Kill the fleet shortly after the decode starts leasing shards.
+	timer := time.AfterFunc(50*time.Millisecond, stop)
+	defer timer.Stop()
+
+	got, gotID := streamDecodeSamples(t, ep.Capture.Samples, distConfig(cfg, c), 8192)
+	if !reflect.DeepEqual(want, got) {
+		t.Error("decode across fleet drain diverged from local sharded decode")
+	}
+	if gotID != wantID {
+		t.Errorf("stats identity diverged across fleet drain:\nwant:\n%s\ngot:\n%s", wantID, gotID)
+	}
+	if c.Stats().Counter("dist.local") == 0 {
+		t.Error("drained fleet never forced a local fallback")
+	}
+}
+
+// TestDistributedQuarantineTypedError poisons every worker's compute:
+// after QuarantineAfter typed remote failures the shard settles with a
+// *lf.DecodeError that surfaces from the decode — the coordinator and
+// the shard pool both survive, and a healthy fleet decodes cleanly on
+// the very next run.
+func TestDistributedQuarantineTypedError(t *testing.T) {
+	ep, cfg := buildEpoch(t, 4, 11)
+	cfg.CalibSamples = 32768
+	local := cfg
+	local.ShardParallelism = 4
+	want, wantID := streamDecodeSamples(t, ep.Capture.Samples, local, 8192)
+
+	c, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		LeaseTimeout:    time.Second,
+		QuarantineAfter: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	stopPoisoned := startFleet(t, c, 2, func(i int, wc *dist.WorkerConfig) {
+		wc.Compute = func(job *lf.StripeJob) { panic("poisoned stripe compute") }
+	})
+
+	dcfg := distConfig(cfg, c)
+	dec, err := lf.NewDecoder(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := dec.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := ep.Capture.Samples
+	var decodeErr error
+	for i := 0; i < len(samples) && decodeErr == nil; i += 8192 {
+		decodeErr = sd.Push(samples[i:min(i+8192, len(samples))])
+	}
+	if decodeErr == nil {
+		_, decodeErr = sd.Flush()
+	}
+	if decodeErr == nil {
+		t.Fatal("poisoned fleet produced a clean decode")
+	}
+	var de *lf.DecodeError
+	if !errors.As(decodeErr, &de) {
+		t.Fatalf("quarantine surfaced an untyped error: %v", decodeErr)
+	}
+
+	// The coordinator survives quarantine: swap in a healthy fleet and
+	// the same coordinator serves a byte-identical decode.
+	stopPoisoned()
+	startFleet(t, c, 2, nil)
+	got, gotID := streamDecodeSamples(t, ep.Capture.Samples, dcfg, 8192)
+	if !reflect.DeepEqual(want, got) {
+		t.Error("post-quarantine decode diverged from local sharded decode")
+	}
+	if gotID != wantID {
+		t.Errorf("post-quarantine stats identity diverged:\nwant:\n%s\ngot:\n%s", wantID, gotID)
+	}
+}
+
+// TestDistributedStatsConservation re-checks the decode-class
+// conservation identities on a distributed run and pins the dist.*
+// runtime counters' own invariants: distribution must be invisible to
+// decode-class stats, and every stripe the decoder dispatched must be
+// accounted for by the coordinator.
+func TestDistributedStatsConservation(t *testing.T) {
+	ep, cfg := buildEpoch(t, 4, 11)
+	cfg.CalibSamples = 32768
+
+	c, err := dist.NewCoordinator(dist.CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	startFleet(t, c, 2, nil)
+
+	dcfg := distConfig(cfg, c)
+	dec, err := lf.NewDecoder(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := dec.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := ep.Capture.Samples
+	for i := 0; i < len(samples); i += 8192 {
+		if err := sd.Push(samples[i:min(i+8192, len(samples))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sd.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	snap := sd.Stats()
+	get := func(name string) int64 { return snap.Counter(name) }
+	if raw, kept, sup := get("edge.raw_peaks"), get("edge.kept"), get("edge.suppressed"); raw != kept+sup {
+		t.Fatalf("raw_peaks %d != kept %d + suppressed %d", raw, kept, sup)
+	}
+	if groups, edges := get("edge.groups"), get("edge.edges"); groups != edges {
+		t.Fatalf("groups %d != edges %d", groups, edges)
+	}
+	if edges, claimed, un := get("edge.edges"), get("edge.claimed"), get("edge.unclaimed"); edges != claimed+un {
+		t.Fatalf("edges %d != claimed %d + unclaimed %d", edges, claimed, un)
+	}
+	if slots, cl, f, e := get("walk.slots"), get("walk.slots_clean"), get("walk.slots_foreign"), get("walk.slots_empty"); slots != cl+f+e {
+		t.Fatalf("walk slots %d != clean %d + foreign %d + empty %d", slots, cl, f, e)
+	}
+	if covered := get("shard.samples"); covered != int64(len(samples)) {
+		t.Fatalf("stripes own %d positions, capture has %d", covered, len(samples))
+	}
+	// dist.* counters must never leak into the decode-class snapshot.
+	if n := get("dist.shards"); n != 0 {
+		t.Fatalf("dist.shards leaked into the decode registry: %d", n)
+	}
+	// SIC residual passes run with metrics disabled, so their stripes
+	// reach the coordinator without touching shard.stripes: the wire
+	// count dominates the metered count.
+	dsnap := c.Stats()
+	if shards, stripes := dsnap.Counter("dist.shards"), get("shard.stripes"); stripes == 0 || shards < stripes {
+		t.Fatalf("coordinator saw %d shards, decoder metered %d stripes", shards, stripes)
+	}
+	if dsnap.Counter("dist.bytes") == 0 {
+		t.Fatal("no bytes crossed the wire")
+	}
+	if w := dsnap.Gauges["dist.workers"]; w != 2 {
+		t.Fatalf("dist.workers gauge = %d, want 2", w)
+	}
+}

@@ -110,6 +110,14 @@ type Config struct {
 	// the capture is pushed as one block and the shards drain at
 	// Flush — as do SIC residual decodes, which inherit the setting.
 	ShardParallelism int
+	// StripeRunner, when non-nil and ShardParallelism ≥ 2, executes
+	// each sweep stripe instead of the in-process kernel — the
+	// distributed coordinator (internal/dist) hooks here to ship
+	// stripes to remote workers. The runner must fill the job's Dst
+	// with exactly the bytes StripeJob.Run would produce, or return an
+	// error (which poisons that stripe like an in-process panic). SIC
+	// residual decodes inherit it with the rest of the config.
+	StripeRunner func(*edgedetect.StripeJob) error
 	// StageDepth bounds each inter-stage queue of the pipelined
 	// streaming decoder, in blocks/tokens (0 selects
 	// DefaultStageDepth, minimum 1). Deeper queues absorb stage-time

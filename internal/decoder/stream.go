@@ -126,6 +126,7 @@ func NewStreamDecoder(sampleRate float64, cfg Config) (*StreamDecoder, error) {
 		Config: ecfg, CalibSamples: cfg.CalibSamples,
 		Metrics: m.Edge, Meter: meter,
 		ShardWorkers: shardW, Shards: m.Shard,
+		StripeRunner: cfg.StripeRunner,
 	})
 	if err != nil {
 		return nil, err

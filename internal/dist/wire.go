@@ -1,0 +1,359 @@
+// Package dist distributes the sharded differential sweep across
+// machines: a coordinator serves the stripe queue over a
+// length-prefixed, CRC-guarded TCP protocol, and workers dial in, pull
+// stripe assignments, compute them with the same kernels the
+// in-process shard pool uses, and stream the magnitudes back for
+// deterministic submission-order merge. The coordinator installs
+// itself as the decoder's StripeRunner (DecoderConfig.StripeRunner),
+// so the merge path — adoption order, seam math, drop blanking — is
+// literally the single-machine code; distribution changes where a
+// stripe's bytes are computed, never which bytes they are (the
+// determinism argument is DESIGN.md §16).
+//
+// The robustness model: every transport failure is recoverable.
+// Dropped connections, lease expiries, corrupt or truncated frames,
+// and stragglers all degrade to a re-queue (served by another worker,
+// a hedge, or the coordinator's own CPU when the fleet drains), so a
+// faulted distributed decode returns the same bits as a clean local
+// one. The only failure that surfaces to the decode is a poisoned
+// shard — a worker reporting a typed decode error — and that
+// quarantines the one shard as lf.DecodeError instead of killing the
+// pool.
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Wire format. Every message is one frame:
+//
+//	magic(2) | type(1) | payloadLen(4, LE) | payload | crc32(4, LE)
+//
+// The CRC (IEEE) covers type, length, and payload, so a flipped bit
+// anywhere in the frame — header or body — is detected before any
+// field is trusted. Payload integers are little-endian; float64s
+// travel as IEEE-754 bit patterns (math.Float64bits), so shipped
+// prefix sums and returned magnitudes are bit-exact across hosts.
+const (
+	wireMagic0 = 0x4C // 'L'
+	wireMagic1 = 0x46 // 'F'
+
+	// protoVersion gates the handshake: a coordinator refuses workers
+	// speaking a different framing or job layout.
+	protoVersion = 1
+
+	// maxFramePayload bounds a frame's declared payload so a corrupt
+	// length field cannot make the reader allocate gigabytes. Stripe
+	// jobs ship ≤ ~stripe+2·margin float64 pairs — far below this.
+	maxFramePayload = 64 << 20
+
+	frameHeaderLen  = 2 + 1 + 4
+	frameTrailerLen = 4
+)
+
+// Message types.
+const (
+	msgHello    = 1 // worker → coordinator: protoVersion, worker name
+	msgWelcome  = 2 // coordinator → worker: protoVersion
+	msgPull     = 3 // worker → coordinator: request one job
+	msgJob      = 4 // coordinator → worker: one stripe job
+	msgResult   = 5 // worker → coordinator: computed magnitudes
+	msgShardErr = 6 // worker → coordinator: typed per-shard failure
+)
+
+// wireError is any framing-level failure: bad magic, CRC mismatch,
+// oversized payload, truncated frame. The coordinator treats it like a
+// dead connection (re-queue and drop the conn); it is never fatal.
+type wireError struct{ msg string }
+
+func (e *wireError) Error() string { return "dist: wire: " + e.msg }
+
+func wireErrf(format string, args ...any) error {
+	return &wireError{msg: fmt.Sprintf(format, args...)}
+}
+
+// writeFrame sends one frame. The payload is borrowed, not retained.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return wireErrf("payload %d exceeds max %d", len(payload), maxFramePayload)
+	}
+	buf := make([]byte, frameHeaderLen+len(payload)+frameTrailerLen)
+	buf[0], buf[1], buf[2] = wireMagic0, wireMagic1, typ
+	binary.LittleEndian.PutUint32(buf[3:], uint32(len(payload)))
+	copy(buf[frameHeaderLen:], payload)
+	crc := crc32.ChecksumIEEE(buf[2 : frameHeaderLen+len(payload)])
+	binary.LittleEndian.PutUint32(buf[frameHeaderLen+len(payload):], crc)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads and verifies one frame, returning its type and
+// payload. Errors distinguish transport failures (returned verbatim,
+// e.g. io.EOF, timeouts) from framing violations (*wireError).
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != wireMagic0 || hdr[1] != wireMagic1 {
+		return 0, nil, wireErrf("bad magic %02x%02x", hdr[0], hdr[1])
+	}
+	n := binary.LittleEndian.Uint32(hdr[3:])
+	if n > maxFramePayload {
+		return 0, nil, wireErrf("payload length %d exceeds max %d", n, maxFramePayload)
+	}
+	body := make([]byte, int(n)+frameTrailerLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	crc := crc32.ChecksumIEEE(hdr[2:])
+	crc = crc32.Update(crc, crc32.IEEETable, body[:n])
+	if got := binary.LittleEndian.Uint32(body[n:]); got != crc {
+		return 0, nil, wireErrf("crc mismatch on type %d frame", hdr[2])
+	}
+	return hdr[2], body[:n:n], nil
+}
+
+// enc is a little append-based payload encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)     { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *enc) floats(v []float64) {
+	e.u32(uint32(len(v)))
+	for _, f := range v {
+		e.f64(f)
+	}
+}
+
+// dec is the matching consuming decoder; every getter fails softly by
+// latching err, so codecs can decode a whole struct and check once.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = wireErrf("truncated payload")
+	}
+}
+func (d *dec) u8() byte {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+func (d *dec) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+func (d *dec) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *dec) str() string {
+	n := d.u32()
+	if d.err != nil || uint32(len(d.b)) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+func (d *dec) floats() []float64 {
+	n := d.u32()
+	if d.err != nil || uint64(len(d.b)) < uint64(n)*8 {
+		d.fail()
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return wireErrf("%d trailing payload bytes", len(d.b))
+	}
+	return nil
+}
+
+// wireJob is the on-wire form of one stripe assignment: the job
+// geometry plus the minimal prefix-sum window the kernel reads,
+// re-based so Re[0]/Im[0] sit at absolute position Base. Sparse is
+// always false on the wire — the coordinator densifies remote jobs so
+// the result is a pure function of the shipped window (the sparse skip
+// tier's coarse blocks are origin-aligned and would shift with the
+// shipping offset; dense vs sparse is output-invariant per DESIGN.md
+// §12, so densifying changes don't-care zeros only).
+type wireJob struct {
+	ID           uint64
+	Lo, Hi       int64
+	IntLo, IntHi int64
+	Base         int64
+	Gap, Win     int64
+	Guard        int64
+	Sparse       bool
+	Threshold    float64
+	Re, Im       []float64
+}
+
+func (j *wireJob) encode() []byte {
+	var e enc
+	e.u64(j.ID)
+	e.i64(j.Lo)
+	e.i64(j.Hi)
+	e.i64(j.IntLo)
+	e.i64(j.IntHi)
+	e.i64(j.Base)
+	e.i64(j.Gap)
+	e.i64(j.Win)
+	e.i64(j.Guard)
+	if j.Sparse {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.f64(j.Threshold)
+	e.floats(j.Re)
+	e.floats(j.Im)
+	return e.b
+}
+
+func decodeJob(p []byte) (*wireJob, error) {
+	d := dec{b: p}
+	j := &wireJob{
+		ID: d.u64(), Lo: d.i64(), Hi: d.i64(),
+		IntLo: d.i64(), IntHi: d.i64(), Base: d.i64(),
+		Gap: d.i64(), Win: d.i64(), Guard: d.i64(),
+		Sparse: d.u8() != 0, Threshold: d.f64(),
+		Re: d.floats(),
+	}
+	j.Im = d.floats()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	if j.Hi < j.Lo || j.Hi-j.Lo > maxFramePayload/8 {
+		return nil, wireErrf("job %d: bad range [%d, %d)", j.ID, j.Lo, j.Hi)
+	}
+	if len(j.Re) != len(j.Im) {
+		return nil, wireErrf("job %d: re/im length mismatch %d != %d", j.ID, len(j.Re), len(j.Im))
+	}
+	if j.Gap < 0 || j.Win <= 0 || j.Guard < 0 {
+		return nil, wireErrf("job %d: bad geometry gap=%d win=%d guard=%d", j.ID, j.Gap, j.Win, j.Guard)
+	}
+	// The kernel reads local indices [ilo−margin−Base, ihi+margin−Base);
+	// refuse a job whose shipped window cannot cover its own reads, so a
+	// corrupted-but-CRC-lucky frame can never index out of bounds.
+	if ilo, ihi := max(j.Lo, j.IntLo), min(j.Hi, j.IntHi); ilo < ihi {
+		margin := j.Gap + j.Win
+		if ilo-margin < j.Base || ihi+margin-j.Base > int64(len(j.Re)) {
+			return nil, wireErrf("job %d: window [%d, %d) does not cover reads", j.ID, j.Base, j.Base+int64(len(j.Re)))
+		}
+	}
+	return j, nil
+}
+
+// wireResult carries one computed stripe back: the owned magnitudes.
+type wireResult struct {
+	ID  uint64
+	Mag []float64
+}
+
+func (r *wireResult) encode() []byte {
+	var e enc
+	e.u64(r.ID)
+	e.floats(r.Mag)
+	return e.b
+}
+
+func decodeResult(p []byte) (*wireResult, error) {
+	d := dec{b: p}
+	r := &wireResult{ID: d.u64(), Mag: d.floats()}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// wireShardErr reports a poisoned shard: the worker's compute panicked
+// or failed in a way retrying will not fix. Stage/Pos mirror
+// decoder.DecodeError so the coordinator can rebuild the typed error.
+type wireShardErr struct {
+	ID    uint64
+	Stage string
+	Pos   int64
+	Msg   string
+}
+
+func (s *wireShardErr) encode() []byte {
+	var e enc
+	e.u64(s.ID)
+	e.str(s.Stage)
+	e.i64(s.Pos)
+	e.str(s.Msg)
+	return e.b
+}
+
+func decodeShardErr(p []byte) (*wireShardErr, error) {
+	d := dec{b: p}
+	s := &wireShardErr{ID: d.u64(), Stage: d.str(), Pos: d.i64(), Msg: d.str()}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// wireHello is the worker's handshake.
+type wireHello struct {
+	Version uint32
+	Name    string
+}
+
+func (h *wireHello) encode() []byte {
+	var e enc
+	e.u32(h.Version)
+	e.str(h.Name)
+	return e.b
+}
+
+func decodeHello(p []byte) (*wireHello, error) {
+	d := dec{b: p}
+	h := &wireHello{Version: d.u32(), Name: d.str()}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}

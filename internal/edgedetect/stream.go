@@ -40,6 +40,13 @@ type StreamConfig struct {
 	// Shards, when populated, receives shard-mode stripe counters
 	// (runtime-class). The zero value records nothing.
 	Shards obs.ShardMetrics
+	// StripeRunner, when non-nil in shard mode, executes each stripe
+	// job instead of the in-process kernel: the distributed coordinator
+	// hooks here to ship jobs to remote workers. The runner must fill
+	// job.Dst with exactly the bytes job.Run would produce (or return an
+	// error, which poisons the stripe like an in-process panic). Ignored
+	// when ShardWorkers < 2.
+	StripeRunner func(*StripeJob) error
 }
 
 // Stream is an incremental edge detector: IQ samples are pushed in
@@ -114,6 +121,7 @@ type Stream struct {
 	stripeFront  int64
 	stripeBytes  int64
 	sm           obs.ShardMetrics
+	stripeRun    func(*StripeJob) error
 
 	calibrated bool
 	floor      float64
@@ -174,7 +182,7 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 		return nil, fmt.Errorf("edgedetect: negative CalibSamples %d", cfg.CalibSamples)
 	}
 	s := &Stream{cfg: cfg.Config, calib: cfg.CalibSamples, workers: work.Resolve(cfg.Parallelism),
-		em: cfg.Metrics, meter: cfg.Meter, sm: cfg.Shards}
+		em: cfg.Metrics, meter: cfg.Meter, sm: cfg.Shards, stripeRun: cfg.StripeRunner}
 	s.sumsRe = append(pool.Float(0), 0)
 	s.sumsIm = append(pool.Float(0), 0)
 	s.mag = pool.Float(0)

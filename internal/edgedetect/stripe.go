@@ -84,6 +84,40 @@ type stripe struct {
 	t      *shard.Ticket
 }
 
+// StripeJob is one self-contained unit of the sharded differential
+// sweep: everything a worker needs to compute the owned magnitude
+// range [Lo, Hi) into Dst, snapshotted at dispatch time. Run executes
+// it with the in-process kernels; StreamConfig.StripeRunner may
+// instead ship it elsewhere (internal/dist serializes exactly these
+// fields), as long as Dst comes back bit-identical to what Run would
+// write — the prefix sums are from-origin absolute values, so any
+// subslice covering [IntLo−SweepMargin, IntHi+SweepMargin] ∩ the
+// kernel's read window reproduces the same differences bit-exactly.
+type StripeJob struct {
+	// Lo, Hi bound the owned magnitude positions; Dst has Hi−Lo
+	// entries, Dst[i] holding position Lo+i.
+	Lo, Hi int64
+	// IntLo, IntHi bound the sweep interior at dispatch time; owned
+	// positions outside it are blanked to zero (capture-edge margins).
+	IntLo, IntHi int64
+	// Re, Im are the split prefix sums the kernel reads; Base is the
+	// absolute sample position of Re[0]/Im[0].
+	Re, Im []float64
+	Base   int64
+	// Detector geometry and sparse-tier controls.
+	Gap, Win, Guard int64
+	Sparse          bool
+	Threshold       float64
+	// Dst is the job-owned output buffer.
+	Dst []float64
+}
+
+// Run computes the stripe in-process.
+func (j *StripeJob) Run() {
+	sweepStripe(j.Dst, j.Re, j.Im, j.Base, j.Lo, j.Hi, j.IntLo, j.IntHi,
+		j.Gap, j.Win, j.Guard, j.Sparse, j.Threshold)
+}
+
 // shardOn reports whether the sharded sweep is active.
 func (s *Stream) shardOn() bool { return s.shards != nil }
 
@@ -148,16 +182,28 @@ func (s *Stream) enqueueStripe(r shard.Range, sparse bool) {
 	// limit − margin (− guard when sparse), so its trailing-blank
 	// branch never fires early — only the Close-time stripes blank the
 	// capture's tail margin, as in the serial sweep.
-	re, im := s.sumsRe, s.sumsIm
-	base := s.sumBase
 	g, w := s.cfg.Gap, s.cfg.Win
 	margin := shard.SweepMargin(g, w)
-	guard := shard.SweepGuard(g)
-	intLo, intHi := margin, s.limit()-margin
-	thr := s.threshold
-	st.t = s.shards.Go(func() {
-		sweepStripe(st.mag, re, im, base, st.lo, st.hi, intLo, intHi, g, w, guard, sparse, thr)
-	})
+	job := &StripeJob{
+		Lo: r.Lo, Hi: r.Hi,
+		IntLo: margin, IntHi: s.limit() - margin,
+		Re: s.sumsRe, Im: s.sumsIm, Base: s.sumBase,
+		Gap: g, Win: w, Guard: shard.SweepGuard(g),
+		Sparse: sparse, Threshold: s.threshold,
+		Dst: st.mag,
+	}
+	if run := s.stripeRun; run != nil {
+		// A runner error poisons this stripe exactly like an in-process
+		// panic: the pool captures it into the ticket (error-valued
+		// panics are %w-wrapped, so typed errors survive to adoption).
+		st.t = s.shards.Go(func() {
+			if err := run(job); err != nil {
+				panic(err)
+			}
+		})
+	} else {
+		st.t = s.shards.Go(job.Run)
+	}
 	s.stripes = append(s.stripes, st)
 	s.stripeFront = r.Hi
 	s.stripeBytes += int64(len(st.mag)) * 8

@@ -1,0 +1,185 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"lf"
+	"lf/internal/dist"
+	"lf/internal/fault"
+	"lf/internal/stats"
+)
+
+// distShards is the in-process shard parallelism for the distributed
+// sweep — the number of stripes concurrently offered to the fleet.
+const distShards = 4
+
+// Dist sweeps the distributed shard decode across worker counts and
+// transport-fault severities over loopback TCP: every cell decodes one
+// impaired-transport epoch through a coordinator + worker fleet and
+// requires the Result to be byte-identical to the single-machine
+// sharded decode. The recovery counters (retries, hedges, local
+// fallbacks) show what the fault cost; the identity column shows what
+// it did not cost — bytes. This is the wire-level analogue of the
+// Robustness sweep: there the capture is impaired, here the transport.
+func Dist(cfg Config) (*Result, error) {
+	workerCounts := []int{1, 2, 4}
+	kinds := fault.TransportKinds()
+	severities := []float64{0.25, 0.5, 1}
+	if cfg.Quick {
+		workerCounts = []int{2}
+		kinds = []fault.Kind{fault.ConnDrop, fault.CorruptFrame}
+		severities = []float64{0.5}
+	}
+
+	table := &stats.Table{
+		Title: fmt.Sprintf("Distributed decode — transport-fault sweep over loopback (%d tags, %d shard stripes)",
+			robustTags, distShards),
+		Header: []string{"workers", "fault", "severity", "shards", "retries", "hedges", "local", "wire KiB", "dist==local"},
+	}
+	var series []stats.Series
+
+	// One epoch and one local-sharded baseline serve every cell: the
+	// transport faults perturb the wire, not the capture, so the
+	// expected bytes never change.
+	net, err := lf.NewNetwork(lf.NetworkConfig{
+		NumTags:        robustTags,
+		PayloadSeconds: 2e-3,
+		Seed:           cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ep, err := net.RunEpoch()
+	if err != nil {
+		return nil, err
+	}
+	dcfg := net.DecoderConfig()
+	dcfg.Parallelism = cfg.Workers
+	dcfg.CalibSamples = streamCalibSamples
+	dcfg.ShardParallelism = distShards
+	want, err := streamDecode(ep.Capture.Samples, dcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, workers := range workerCounts {
+		retries := stats.Series{Label: fmt.Sprintf("retries w=%d", workers)}
+		cells := []struct {
+			kind fault.Kind
+			sev  float64
+		}{{kind: "clean"}}
+		for _, k := range kinds {
+			for _, sev := range severities {
+				cells = append(cells, struct {
+					kind fault.Kind
+					sev  float64
+				}{k, sev})
+			}
+		}
+		for _, cell := range cells {
+			pt, err := distPoint(cfg, ep, dcfg, workers, cell.kind, cell.sev)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: dist %s at severity %.2f with %d workers: %w", cell.kind, cell.sev, workers, err)
+			}
+			identical := reflect.DeepEqual(want, pt.res)
+			table.AddRow(fmt.Sprint(workers), string(cell.kind), fmt.Sprintf("%.2f", cell.sev),
+				fmt.Sprint(pt.shards), fmt.Sprint(pt.retries), fmt.Sprint(pt.hedges),
+				fmt.Sprint(pt.local), fmt.Sprintf("%d", pt.bytes/1024), fmt.Sprint(identical))
+			if !identical {
+				return nil, fmt.Errorf("experiment: distributed decode diverged from local under %s at severity %.2f with %d workers",
+					cell.kind, cell.sev, workers)
+			}
+			if cell.sev > 0 {
+				retries.Add(cell.sev, float64(pt.retries))
+			}
+		}
+		series = append(series, retries)
+	}
+	return &Result{Table: table, Series: series}, nil
+}
+
+// distPoint runs one cell: a coordinator with the cell's transport
+// impairment on every accepted connection, a fleet of workers over
+// loopback TCP, and one streaming decode served through them.
+type distCell struct {
+	res                            *lf.Result
+	shards, retries, hedges, local int64
+	bytes                          int64
+}
+
+func distPoint(cfg Config, ep *lf.Epoch, dcfg lf.DecoderConfig, workers int, kind fault.Kind, sev float64) (distCell, error) {
+	var pt distCell
+	var transport fault.TransportConfig
+	if sev > 0 {
+		transport = fault.TransportConfig{
+			Seed:      cfg.Seed ^ 0xD157,
+			Injectors: []fault.Injector{{Kind: kind, Severity: sev}},
+		}
+	}
+	c, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		LeaseTimeout: 500 * time.Millisecond,
+		Transport:    transport,
+	})
+	if err != nil {
+		return pt, err
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		name := fmt.Sprintf("bench-w%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dist.RunWorker(ctx, dist.WorkerConfig{Addr: c.Addr(), Name: name})
+		}()
+	}
+	defer wg.Wait()
+	defer cancel()
+	if !c.WaitWorkers(workers, 5*time.Second) {
+		return pt, fmt.Errorf("fleet of %d never connected", workers)
+	}
+
+	scfg := dcfg
+	scfg.StripeRunner = c.RunStripe
+	res, err := streamDecode(ep.Capture.Samples, scfg)
+	if err != nil {
+		return pt, err
+	}
+	snap := c.Stats()
+	pt.res = res
+	pt.shards = snap.Counter("dist.shards")
+	pt.retries = snap.Counter("dist.retries")
+	pt.hedges = snap.Counter("dist.hedges")
+	pt.local = snap.Counter("dist.local")
+	pt.bytes = snap.Counter("dist.bytes")
+	return pt, nil
+}
+
+// streamDecode pushes samples through a fresh streaming decoder in
+// streamBlock-sized blocks and returns the flushed Result.
+func streamDecode(samples []complex128, dcfg lf.DecoderConfig) (*lf.Result, error) {
+	dec, err := lf.NewDecoder(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	sd, err := dec.NewStream()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(samples); i += streamBlock {
+		end := i + streamBlock
+		if end > len(samples) {
+			end = len(samples)
+		}
+		if err := sd.Push(samples[i:end]); err != nil {
+			return nil, err
+		}
+	}
+	return sd.Flush()
+}

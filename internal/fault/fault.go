@@ -84,7 +84,7 @@ func validKind(k Kind) bool {
 			return true
 		}
 	}
-	return false
+	return IsTransportLevel(k)
 }
 
 // IsTagLevel reports whether a kind impairs emissions (pre-synthesis)
@@ -161,16 +161,33 @@ func ParseSpec(spec string) ([]Injector, error) {
 }
 
 // SplitLevels partitions injectors into capture-level and tag-level
-// groups, preserving order within each.
+// groups, preserving order within each. Transport-level kinds belong
+// to neither (they impair connections, not signal) and are dropped;
+// use SplitTransport first when a spec may mix all three levels.
 func SplitLevels(injs []Injector) (capture, tagLevel []Injector) {
 	for _, inj := range injs {
-		if IsTagLevel(inj.Kind) {
+		switch {
+		case IsTagLevel(inj.Kind):
 			tagLevel = append(tagLevel, inj)
-		} else {
+		case IsTransportLevel(inj.Kind):
+		default:
 			capture = append(capture, inj)
 		}
 	}
 	return capture, tagLevel
+}
+
+// SplitTransport separates transport-level injectors from the rest,
+// preserving order within each group.
+func SplitTransport(injs []Injector) (transport, rest []Injector) {
+	for _, inj := range injs {
+		if IsTransportLevel(inj.Kind) {
+			transport = append(transport, inj)
+		} else {
+			rest = append(rest, inj)
+		}
+	}
+	return transport, rest
 }
 
 // opKind is the primitive a compiled impairment reduces to.
@@ -228,7 +245,7 @@ func (c Config) PlanCapture(n int64, ref float64) (*Plan, error) {
 	p := &Plan{N: n}
 	root := rng.New(c.Seed)
 	for i, inj := range c.Injectors {
-		if IsTagLevel(inj.Kind) {
+		if IsTagLevel(inj.Kind) || IsTransportLevel(inj.Kind) {
 			continue
 		}
 		src := root.Split(fmt.Sprintf("%s/%d", inj.Kind, i))

@@ -1,0 +1,225 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// sinkConn is a deterministic in-memory net.Conn half: writes append
+// to a buffer, reads drain a peer-fed pipe. Enough surface for the
+// injector tests without sockets.
+type sinkConn struct {
+	net.Conn
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (s *sinkConn) Write(p []byte) (int, error) {
+	if s.closed {
+		return 0, net.ErrClosed
+	}
+	return s.buf.Write(p)
+}
+func (s *sinkConn) Read(p []byte) (int, error) {
+	if s.closed {
+		return 0, net.ErrClosed
+	}
+	return len(p), nil
+}
+func (s *sinkConn) Close() error { s.closed = true; return nil }
+
+func wireBytes(t *testing.T, cfg TransportConfig, connID uint64, writes [][]byte) ([]byte, error) {
+	t.Helper()
+	sink := &sinkConn{}
+	conn := cfg.Wrap(sink, connID)
+	for _, w := range writes {
+		if _, err := conn.Write(w); err != nil {
+			return sink.buf.Bytes(), err
+		}
+	}
+	return sink.buf.Bytes(), nil
+}
+
+// TestTransportDeterminism: the same seed, connection ID, and write
+// sequence must put identical bytes on the wire and fail at the same
+// operation — the whole failure matrix replays.
+func TestTransportDeterminism(t *testing.T) {
+	for _, kind := range TransportKinds() {
+		if kind == Stall {
+			continue // exercises wall clock; covered below
+		}
+		cfg := TransportConfig{Seed: 42, Injectors: []Injector{{Kind: kind, Severity: 1}}}
+		writes := make([][]byte, 64)
+		for i := range writes {
+			writes[i] = bytes.Repeat([]byte{byte(i)}, 128)
+		}
+		got1, err1 := wireBytes(t, cfg, 7, writes)
+		got2, err2 := wireBytes(t, cfg, 7, writes)
+		if !bytes.Equal(got1, got2) {
+			t.Errorf("%s: wire bytes differ across identical runs", kind)
+		}
+		if (err1 == nil) != (err2 == nil) {
+			t.Errorf("%s: failure point differs: %v vs %v", kind, err1, err2)
+		}
+		// A different connection ID must give an independent stream.
+		got3, _ := wireBytes(t, cfg, 8, writes)
+		if bytes.Equal(got1, got3) && len(got1) > 0 {
+			t.Errorf("%s: connID does not decorrelate impairment", kind)
+		}
+	}
+}
+
+// TestTransportInactivePassThrough: severity 0 (and non-transport
+// kinds) must return the conn unchanged — zero overhead when clean.
+func TestTransportInactivePassThrough(t *testing.T) {
+	sink := &sinkConn{}
+	cfg := TransportConfig{Seed: 1, Injectors: []Injector{
+		{Kind: ConnDrop, Severity: 0},
+		{Kind: BurstNoise, Severity: 1}, // capture-level: ignored
+	}}
+	if got := cfg.Wrap(sink, 1); got != net.Conn(sink) {
+		t.Fatal("inactive config must not wrap")
+	}
+}
+
+// TestTransportConnDropSevers: at severity 1 a long operation sequence
+// must hit a drop, after which both directions fail fast and the
+// underlying conn is closed (the peer sees it too).
+func TestTransportConnDropSevers(t *testing.T) {
+	sink := &sinkConn{}
+	cfg := TransportConfig{Seed: 3, Injectors: []Injector{{Kind: ConnDrop, Severity: 1}}}
+	conn := cfg.Wrap(sink, 1)
+	var err error
+	for i := 0; i < 10000 && err == nil; i++ {
+		_, err = conn.Write([]byte{1})
+	}
+	if err == nil {
+		t.Fatal("severity-1 conndrop never fired in 10000 ops")
+	}
+	if !sink.closed {
+		t.Fatal("drop did not close the underlying conn")
+	}
+	if _, err := conn.Read(make([]byte, 1)); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("post-drop read = %v, want net.ErrClosed", err)
+	}
+}
+
+// TestTransportCorruptFrame: corruption must flip exactly one bit of
+// an affected write, never mutate the caller's buffer, and leave most
+// writes untouched at moderate probability.
+func TestTransportCorruptFrame(t *testing.T) {
+	cfg := TransportConfig{Seed: 9, Injectors: []Injector{{Kind: CorruptFrame, Severity: 1}}}
+	sink := &sinkConn{}
+	conn := cfg.Wrap(sink, 2)
+	payload := bytes.Repeat([]byte{0xAB}, 64)
+	orig := append([]byte(nil), payload...)
+	corrupted := 0
+	const rounds = 2000
+	for i := 0; i < rounds; i++ {
+		sink.buf.Reset()
+		if _, err := conn.Write(payload); err != nil {
+			t.Fatalf("corruptframe must not error: %v", err)
+		}
+		if !bytes.Equal(payload, orig) {
+			t.Fatal("caller buffer mutated")
+		}
+		got := sink.buf.Bytes()
+		if len(got) != len(orig) {
+			t.Fatalf("corrupt write changed length: %d", len(got))
+		}
+		diff := 0
+		for j := range got {
+			for b := got[j] ^ orig[j]; b != 0; b &= b - 1 {
+				diff++
+			}
+		}
+		if diff > 1 {
+			t.Fatalf("corruption flipped %d bits, want ≤ 1", diff)
+		}
+		if diff == 1 {
+			corrupted++
+		}
+	}
+	if corrupted == 0 || corrupted == rounds {
+		t.Fatalf("corruption rate degenerate: %d/%d", corrupted, rounds)
+	}
+}
+
+// TestTransportPartialWriteTruncatesAndSevers: an affected write must
+// deliver a strict prefix and then kill the connection.
+func TestTransportPartialWriteTruncatesAndSevers(t *testing.T) {
+	cfg := TransportConfig{Seed: 5, Injectors: []Injector{{Kind: PartialWrite, Severity: 1}}}
+	sink := &sinkConn{}
+	conn := cfg.Wrap(sink, 3)
+	payload := bytes.Repeat([]byte{0xCD}, 256)
+	var err error
+	var wrote int
+	for i := 0; i < 10000 && err == nil; i++ {
+		sink.buf.Reset()
+		_, err = conn.Write(payload)
+		wrote = sink.buf.Len()
+	}
+	if err == nil {
+		t.Fatal("severity-1 partialwrite never fired in 10000 writes")
+	}
+	if wrote <= 0 || wrote >= len(payload) {
+		t.Fatalf("partial write delivered %d of %d bytes, want strict prefix", wrote, len(payload))
+	}
+	if !sink.closed {
+		t.Fatal("partial write did not sever the conn")
+	}
+}
+
+// TestTransportStallDelays: a severity-1 stall mix must take
+// measurably longer than a clean run over the same ops.
+func TestTransportStallDelays(t *testing.T) {
+	cfg := TransportConfig{Seed: 11, Injectors: []Injector{{Kind: Stall, Severity: 0.2}}}
+	sink := &sinkConn{}
+	conn := cfg.Wrap(sink, 4)
+	start := time.Now()
+	for i := 0; i < 200; i++ {
+		if _, err := conn.Write([]byte{1}); err != nil {
+			t.Fatalf("stall must not error: %v", err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("stall injector added no delay (%v over 200 ops)", elapsed)
+	}
+}
+
+// TestTransportSpecParsing: transport kinds must round-trip through
+// ParseSpec and split cleanly away from signal-level kinds.
+func TestTransportSpecParsing(t *testing.T) {
+	injs, err := ParseSpec("conndrop:0.5,burst:0.3,stall,drift:0.2,corruptframe:1,partialwrite:0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	transport, rest := SplitTransport(injs)
+	if len(transport) != 4 || len(rest) != 2 {
+		t.Fatalf("SplitTransport = %d transport + %d rest, want 4 + 2", len(transport), len(rest))
+	}
+	capture, tagLevel := SplitLevels(injs)
+	if len(capture) != 1 || len(tagLevel) != 1 {
+		t.Fatalf("SplitLevels = %d capture + %d tag, want 1 + 1", len(capture), len(tagLevel))
+	}
+	// Transport kinds must be inert for capture planning.
+	cfg := Config{Seed: 1, Injectors: injs}
+	plan, err := cfg.PlanCapture(10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onlySignal := Config{Seed: 1, Injectors: rest}
+	plan2, err := onlySignal.PlanCapture(10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Ops() != plan2.Ops() || plan.N != plan2.N {
+		t.Fatal("transport kinds altered the capture plan")
+	}
+}
+
+var _ io.Writer = (*sinkConn)(nil)

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -17,7 +18,19 @@ type Pool struct {
 	jobs    chan func()
 	wg      sync.WaitGroup
 	workers int
+
+	// mu guards closed against Go/Close races: Close flips closed
+	// under the write lock before closing the channel, and Go holds
+	// the read lock across the send, so a send can never hit a closed
+	// channel — a late Go observes closed and returns a pre-failed
+	// ticket instead (a coordinator cancelling mid-merge hits this).
+	mu     sync.RWMutex
+	closed bool
 }
+
+// ErrPoolClosed is the failure a Ticket carries when its job was
+// submitted after Close.
+var ErrPoolClosed = fmt.Errorf("shard: pool closed")
 
 // NewPool starts workers goroutines pulling from a queue of depth
 // backlog. Submissions beyond the backlog block until a worker frees a
@@ -49,26 +62,49 @@ func (p *Pool) Workers() int { return p.workers }
 // Go submits a job and returns its completion ticket. A panic inside
 // the job is captured into the ticket (the worker survives), so a
 // poisoned shard degrades to an error at adoption instead of killing
-// the pool.
+// the pool; a panic whose value is an error is wrapped so typed errors
+// (e.g. decoder.DecodeError) survive errors.As through the ticket.
+// After Close the ticket comes back already failed with ErrPoolClosed
+// rather than panicking on a closed channel.
 func (p *Pool) Go(fn func()) *Ticket {
 	t := &Ticket{ch: make(chan struct{})}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		t.err = ErrPoolClosed
+		close(t.ch)
+		return t
+	}
 	p.jobs <- func() {
 		defer func() {
 			if r := recover(); r != nil {
-				t.err = fmt.Errorf("shard: job panic: %v", r)
+				if err, ok := r.(error); ok {
+					t.err = fmt.Errorf("shard: job panic: %w", err)
+				} else {
+					t.err = fmt.Errorf("shard: job panic: %v", r)
+				}
 			}
 			close(t.ch)
 		}()
 		fn()
 	}
+	p.mu.RUnlock()
 	return t
 }
 
-// Close retires the pool: no further Go calls are allowed, and Close
-// returns once every submitted job has finished and every worker has
-// exited.
+// Close retires the pool: subsequent Go calls return pre-failed
+// tickets, and Close returns once every previously submitted job has
+// finished and every worker has exited. Idempotent — a second Close
+// returns immediately.
 func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
 	close(p.jobs)
+	p.mu.Unlock()
 	p.wg.Wait()
 }
 
@@ -90,6 +126,26 @@ func (t *Ticket) Ready() bool {
 
 // Wait blocks until the job has finished.
 func (t *Ticket) Wait() { <-t.ch }
+
+// WaitCtx blocks until the job has finished or ctx is done, returning
+// ctx.Err() in the latter case. On a nil return the ticket is ready
+// and Err is valid. The job itself keeps running either way — a
+// cancelled wait abandons the result, it does not revoke the work —
+// which is exactly what a lease deadline or coordinator shutdown
+// needs: stop waiting on a stuck ticket without corrupting the pool.
+func (t *Ticket) WaitCtx(ctx context.Context) error {
+	select {
+	case <-t.ch:
+		return nil
+	default:
+	}
+	select {
+	case <-t.ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // Err returns the job's captured panic, if any. Valid only after
 // Ready has returned true or Wait has returned.

@@ -36,6 +36,7 @@ import (
 
 	"lf/internal/channel"
 	"lf/internal/decoder"
+	"lf/internal/edgedetect"
 	"lf/internal/iq"
 	"lf/internal/obs"
 	"lf/internal/reader"
@@ -347,6 +348,15 @@ type DecoderConfig struct {
 	// Unlike PipelineParallelism, batch Decode honours it too. 0 or
 	// 1 disables sharding.
 	ShardParallelism int
+	// StripeRunner, when non-nil and ShardParallelism ≥ 2, executes
+	// each sweep stripe of the sharded decode instead of the
+	// in-process kernel. This is the distribution seam: internal/dist
+	// installs its coordinator here to ship stripes to remote workers
+	// over TCP while the merge stays in-process and deterministic. The
+	// runner must fill job.Dst with exactly the bytes job.Run would
+	// produce, or return an error (which poisons that one stripe, not
+	// the decode). Most callers leave it nil.
+	StripeRunner func(*StripeJob) error
 	// StageDepth bounds each inter-stage queue of the pipelined
 	// streaming decoder, in blocks (0 = default). Deeper queues
 	// absorb stage-time jitter but buffer more pushed samples, which
@@ -447,6 +457,11 @@ type StreamResult = decoder.StreamResult
 // the failure is anchored at. Inspect with errors.As.
 type DecodeError = decoder.DecodeError
 
+// StripeJob is one self-contained sweep stripe of the sharded decode,
+// handed to DecoderConfig.StripeRunner when distribution is hooked in
+// (see internal/dist). Run computes it in-process.
+type StripeJob = edgedetect.StripeJob
+
 // DecodeStage names the pipeline stage a DecodeError originated in.
 type DecodeStage = decoder.Stage
 
@@ -494,6 +509,7 @@ func NewDecoder(cfg DecoderConfig) (*Decoder, error) {
 	dc.Parallelism = cfg.Parallelism
 	dc.PipelineParallelism = cfg.PipelineParallelism
 	dc.ShardParallelism = cfg.ShardParallelism
+	dc.StripeRunner = cfg.StripeRunner
 	dc.StageDepth = cfg.StageDepth
 	dc.CalibSamples = cfg.CalibSamples
 	dc.ViterbiWindow = cfg.ViterbiWindow
