@@ -3,7 +3,7 @@ FUZZTIME ?= 30s
 
 .PHONY: all build vet test race race-stream bench benchjson benchguard \
 	fuzz fuzz-smoke kernel-smoke obs-smoke stage-smoke shard-smoke \
-	dist-smoke robustness-smoke profile ci clean
+	sic-smoke dist-smoke robustness-smoke profile ci clean
 
 all: build
 
@@ -52,6 +52,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadCapture -fuzztime $(FUZZTIME) ./internal/iq
 	$(GO) test -run '^$$' -fuzz FuzzStreamPush -fuzztime $(FUZZTIME) ./internal/decoder
 	$(GO) test -run '^$$' -fuzz FuzzWireFrame -fuzztime $(FUZZTIME) ./internal/dist
+	$(GO) test -run '^$$' -fuzz FuzzPrefixRepair -fuzztime $(FUZZTIME) ./internal/dsp
 
 # Short-budget fuzz pass for CI: enough executions to catch decode-path
 # panics on adversarial input without stalling the gate.
@@ -93,6 +94,16 @@ shard-smoke:
 	$(GO) test -race -run 'TestSharded' .
 	$(GO) test -race ./internal/shard
 
+# Incremental-SIC smoke: the dirty-span vs ForceFullResidual
+# byte-identity matrix (fault kinds x rounds, block/shard/pipeline
+# composition, vacuity guard) under the race detector, the prefix
+# subtract-and-repair unit suite, and one quick sic experiment run so
+# the redecode-fraction measurement path stays wired end to end.
+sic-smoke:
+	$(GO) test -race -run 'TestSIC' .
+	$(GO) test -run 'TestRepairPrefix' ./internal/dsp
+	$(GO) run ./cmd/lfbench -exp sic -quick
+
 # Distributed-decode smoke: the loopback acceptance matrix (worker
 # counts {1,2,4} x transport fault kinds at severity 0.5, forced
 # hedging, fleet-drain fallback, shard quarantine, stats conservation —
@@ -115,7 +126,7 @@ profile:
 	$(GO) run ./cmd/lfbench -benchjson /tmp/lfbench-profile.json \
 		-cpuprofile lfbench.cpu.prof -memprofile lfbench.mem.prof
 
-ci: vet build test race race-stream fuzz-smoke kernel-smoke obs-smoke stage-smoke shard-smoke dist-smoke robustness-smoke benchguard
+ci: vet build test race race-stream fuzz-smoke kernel-smoke obs-smoke stage-smoke shard-smoke sic-smoke dist-smoke robustness-smoke benchguard
 
 clean:
 	$(GO) clean ./...

@@ -28,6 +28,25 @@ const guardThreshold = 0.15
 // not comparable.
 const statsOverheadLimit = 1.03
 
+// sicRedecodeCap is the absolute ceiling on sic_redecode_fraction: one
+// incremental cancellation round on the slotted bench capture must cost
+// at most this fraction of a from-scratch re-decode. Like the stats
+// overhead it is a within-run measurement (both sides of the fraction
+// come from the same interleaved timing passes), so it is gated on any
+// machine regardless of baseline comparability.
+const sicRedecodeCap = 0.40
+
+// sicRedecodeSlack is the absolute room the baseline comparison of
+// sic_redecode_fraction allows on top of the relative guardThreshold.
+// The fraction divides a difference of two ~20 ms wall-clock timings
+// by one of them, so a couple of milliseconds of scheduler noise in
+// either term moves it by a tenth — its run-to-run noise is absolute,
+// not proportional, and a pure ratio gate on a small baseline value
+// would flake on noise the cap gate happily absorbs. Creep within the
+// slack is still bounded: the absolute cap fails the run regardless of
+// what the baseline recorded.
+const sicRedecodeSlack = 0.15
+
 // guardedBenches are the benchmark names the guard gates on.
 var guardedBenches = map[string]bool{
 	"decode":                     true,
@@ -136,6 +155,29 @@ func runBenchGuard(baselinePath string, seed int64) error {
 		failures = append(failures, fmt.Sprintf(
 			"realtime_factor_sharded %.4f below the %.1f floor on a %d-core machine",
 			fresh.Streaming.RealtimeFactorSharded, shardedRealtimeFloor, ncpu))
+	}
+	// Incremental-SIC gates. The absolute cap is the §17 acceptance
+	// bound: the dirty-span residual pass must stay O(dirty), i.e. cost
+	// at most sicRedecodeCap of a full re-decode of the bench capture.
+	// The baseline comparison additionally catches creeping regressions
+	// below the cap, with absolute slack for timing-difference noise.
+	if fresh.SIC != nil {
+		f := fresh.SIC.RedecodeFraction
+		status := "ok"
+		if f > sicRedecodeCap {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"sic_redecode_fraction %.3f exceeds the %.2f cap: the incremental round re-swept %d of %d samples",
+				f, sicRedecodeCap, fresh.SIC.DirtySamples, fresh.SIC.CaptureSamples))
+		}
+		fmt.Printf("%-24s %11.4f (cap %.2f)  %s\n", "sic-redecode-fraction", f, sicRedecodeCap, status)
+		if baseline.SIC != nil {
+			b := baseline.SIC.RedecodeFraction
+			if b > 0 && f > b*(1+guardThreshold) && f > b+sicRedecodeSlack {
+				failures = append(failures, fmt.Sprintf(
+					"sic_redecode_fraction %.3f vs baseline %.3f (%+.1f%%)", f, b, 100*(f/b-1)))
+			}
+		}
 	}
 	// Instrumentation overhead gate: measured within this run, so it
 	// applies regardless of baseline comparability.

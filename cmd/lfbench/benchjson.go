@@ -22,6 +22,7 @@ import (
 
 	"lf"
 	"lf/internal/edgedetect"
+	"lf/internal/experiment"
 )
 
 // streamBenchBlock matches the SDR DMA buffer size the streaming
@@ -99,6 +100,36 @@ type streamingMetrics struct {
 	CaptureSeconds    float64 `json:"capture_seconds"`
 }
 
+// sicMetrics characterizes the incremental-SIC residual decode on the
+// fixed slotted bench capture (experiment.SICBenchEpoch): how much of
+// the listening window one cancellation round marked dirty, what the
+// round cost against a from-scratch re-decode, and the carry-over
+// counters the dirty-span mechanics are built on (DESIGN.md §17).
+type sicMetrics struct {
+	CaptureSamples int `json:"capture_samples"`
+	// DirtySamples is the sample count the cancellation round re-swept
+	// (obs counter sic.dirty_samples); CarriedStreams and
+	// RecoveredStreams are the corresponding sic.* counters from the
+	// same instrumented decode.
+	DirtySamples     int64 `json:"dirty_samples"`
+	CarriedStreams   int64 `json:"carried_streams"`
+	RecoveredStreams int64 `json:"recovered_streams"`
+	// FirstPassNs is a cancellation-disabled decode of the capture —
+	// exactly what re-running detection over the whole window costs.
+	// IncrementalNs and FullResidualNs are one-round decodes in
+	// dirty-span and ForceFullResidual mechanics respectively (each the
+	// minimum over interleaved passes; the two are byte-identical by
+	// contract and checked on every measurement).
+	FirstPassNs    int64 `json:"first_pass_ns"`
+	IncrementalNs  int64 `json:"incremental_round_ns"`
+	FullResidualNs int64 `json:"full_round_ns"`
+	// RedecodeFraction is (IncrementalNs − FirstPassNs) / FirstPassNs:
+	// the marginal cost of the residual pass as a fraction of a full
+	// re-decode. Gated ≤ sicRedecodeCap by -benchguard within the run,
+	// plus a regression comparison against the committed baseline.
+	RedecodeFraction float64 `json:"sic_redecode_fraction"`
+}
+
 // benchReport is the top-level JSON document.
 type benchReport struct {
 	GoVersion string `json:"go_version"`
@@ -109,6 +140,9 @@ type benchReport struct {
 	Seed       int64             `json:"seed"`
 	Benchmarks []benchResult     `json:"benchmarks"`
 	Streaming  *streamingMetrics `json:"streaming"`
+	// SIC is the incremental-cancellation cost profile on the slotted
+	// bench capture.
+	SIC *sicMetrics `json:"sic,omitempty"`
 	// DecodeSpeedup is serial decode ns/op over the best swept decode
 	// ns/op on this machine. Meaningful only when NumCPU > 1.
 	DecodeSpeedup float64 `json:"decode_speedup"`
@@ -313,6 +347,32 @@ func profileSharded(net *lf.Network, ep *lf.Epoch) ([]benchResult, float64, erro
 		}
 	}
 	return rows, best, nil
+}
+
+// profileSIC measures the incremental-SIC redecode fraction on the
+// fixed slotted bench capture. One cancellation round; the timing
+// passes are interleaved min-of-rounds (MeasureSIC), which also
+// re-checks the incremental/ForceFullResidual byte-identity contract.
+func profileSIC(seed int64) (*sicMetrics, error) {
+	ep, cfg, err := experiment.SICBenchEpoch(seed)
+	if err != nil {
+		return nil, err
+	}
+	const sicBenchPasses = 6
+	t, snap, err := experiment.MeasureSIC(ep, cfg, 1, sicBenchPasses)
+	if err != nil {
+		return nil, err
+	}
+	return &sicMetrics{
+		CaptureSamples:   ep.Capture.Len(),
+		DirtySamples:     snap.Counter("sic.dirty_samples"),
+		CarriedStreams:   snap.Counter("sic.carried_streams"),
+		RecoveredStreams: snap.Counter("sic.recovered"),
+		FirstPassNs:      t.Off.Nanoseconds(),
+		IncrementalNs:    t.Incremental.Nanoseconds(),
+		FullResidualNs:   t.Full.Nanoseconds(),
+		RedecodeFraction: t.RedecodeFraction(),
+	}, nil
 }
 
 // pairedOverheadRatio measures the instrumented-vs-NoStats streaming
@@ -547,6 +607,12 @@ func buildBenchReport(seed int64) (*benchReport, error) {
 	}
 	streaming.RealtimeFactorSharded = shardRT
 	report.Benchmarks = append(report.Benchmarks, shardRows...)
+
+	sic, err := profileSIC(seed)
+	if err != nil {
+		return nil, err
+	}
+	report.SIC = sic
 
 	// A/B instrumented vs uninstrumented streaming decode. The decode
 	// itself is bit-identical; the ratio is the pure metrics cost and

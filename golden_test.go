@@ -50,6 +50,12 @@ type goldenCase struct {
 	seed       int64
 	fault      string // fault.ParseSpec list applied to the capture
 	faultSeed  int64
+	// rounds enables successive interference cancellation for the
+	// decode (lf.DecoderConfig.CancellationRounds). The sic case pins
+	// the incremental dirty-span residual passes end to end: recovered
+	// streams, carried calibration, and the SIC decode-class counters
+	// all land in the committed text.
+	rounds int
 }
 
 // Fault seeds are chosen so the impairment lands after the
@@ -59,6 +65,11 @@ type goldenCase struct {
 var goldenCases = []goldenCase{
 	{name: "clean", sampleRate: 5e6, tags: 4, seed: 11},
 	{name: "collision", sampleRate: 12.5e6, tags: 8, seed: 5},
+	// The sic case's seed is chosen so the capture carries multiple
+	// 2-tag collisions plus a 3-tag pile-up, both cancellation rounds
+	// actually run, and round one recovers a stream the first pass
+	// could not decode.
+	{name: "sic", sampleRate: 12.5e6, tags: 8, seed: 10, rounds: 2},
 	{name: "burst", sampleRate: 5e6, tags: 4, seed: 31, fault: "burst:0.75", faultSeed: 7},
 	{name: "dropout", sampleRate: 5e6, tags: 4, seed: 37, fault: "dropout:0.2", faultSeed: 13},
 	{name: "nonfinite", sampleRate: 5e6, tags: 4, seed: 41, fault: "nonfinite:0.75", faultSeed: 7},
@@ -68,14 +79,15 @@ var goldenCases = []goldenCase{
 // goldenConfig is the fixed, fully explicit decode configuration every
 // corpus capture is decoded with — independent of the simulator so a
 // replayed capture decodes identically forever.
-func goldenConfig(sampleRate float64) lf.DecoderConfig {
+func goldenConfig(sampleRate float64, rounds int) lf.DecoderConfig {
 	return lf.DecoderConfig{
-		SampleRate:   sampleRate,
-		Rates:        []float64{100e3},
-		PayloadBits:  func(float64) int { return 20 },
-		Stages:       lf.AllStages(),
-		CalibSamples: goldenCalib,
-		Seed:         9,
+		SampleRate:         sampleRate,
+		Rates:              []float64{100e3},
+		PayloadBits:        func(float64) int { return 20 },
+		Stages:             lf.AllStages(),
+		CalibSamples:       goldenCalib,
+		Seed:               9,
+		CancellationRounds: rounds,
 	}
 }
 
@@ -102,7 +114,7 @@ func TestGolden(t *testing.T) {
 			}
 
 			// Batch decode.
-			dec, err := lf.NewDecoder(goldenConfig(capture.SampleRate))
+			dec, err := lf.NewDecoder(goldenConfig(capture.SampleRate, gc.rounds))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -115,7 +127,7 @@ func TestGolden(t *testing.T) {
 
 			// Streaming decode of the same samples must match both
 			// renderings byte-for-byte.
-			sdec, err := lf.NewDecoder(goldenConfig(capture.SampleRate))
+			sdec, err := lf.NewDecoder(goldenConfig(capture.SampleRate, gc.rounds))
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -137,6 +137,19 @@ type Config struct {
 	// every position. The decode is bit-identical either way; the knob
 	// exists for A/B benchmarking and debugging.
 	ForceDenseSweep bool
+	// ForceFullResidual disables incremental SIC (DESIGN.md §17),
+	// reverting every cancellation round to the historical mechanics: a
+	// freshly allocated residual buffer, a full re-subtraction of every
+	// trusted stream, and a from-scratch re-decode of the whole
+	// residual. The default incremental path keeps one residual buffer
+	// across rounds, subtracts only the streams decoded in the latest
+	// round over their dirty spans, repairs the sweep's prefix sums
+	// span-locally, and seeds the residual pass's detector with the
+	// repaired lanes and the first pass's calibration. The decode is
+	// byte-identical either way (sic_equivalence_test.go pins the
+	// matrix); the knob exists for A/B benchmarking and debugging,
+	// mirroring ForceDenseSweep.
+	ForceFullResidual bool
 	// ViterbiWindow is the sliding trellis window of the sequence
 	// decoder: survivor paths commit as they merge and are truncated at
 	// this depth, bounding per-stream decoder state. 0 selects
@@ -167,6 +180,18 @@ type Config struct {
 	// just before sequence decoding — the seam the quarantine tests use
 	// to poison a single stream's decode.
 	testStreamHook func(*StreamResult)
+
+	// sicCalib, when non-nil, presets the edge detector's noise
+	// calibration — SIC residual passes carry the first pass's
+	// floor/threshold instead of recalibrating on the signal-subtracted
+	// residual (sic.go, DESIGN.md §17). Internal: set only by the
+	// cancellation loop on its sub-decode configs.
+	sicCalib *edgedetect.CalibPreset
+	// sicSeed, when non-nil, seeds the detector with the round cache's
+	// pre-folded (and span-locally repaired) prefix-sum lanes, skipping
+	// sample ingest entirely. Internal: requires sicCalib; set only by
+	// the incremental cancellation path.
+	sicSeed *edgedetect.SweepSeed
 }
 
 // metrics returns the configured pipeline or the shared disabled one,
@@ -293,6 +318,12 @@ func Decode(capture *iq.Capture, cfg Config) (*Result, error) {
 	// copy needed on the batch path.
 	sd.retain = capture.Samples
 	sd.retainExt = true
+	// A seeded decode (incremental SIC residual pass) adopted the
+	// pre-folded prefix sums at construction; there is nothing to push —
+	// Flush closes the detector and drives detection end to end.
+	if cfg.sicSeed != nil {
+		return sd.Flush()
+	}
 	if err := sd.Push(capture.Samples); err != nil {
 		return nil, err
 	}

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"lf/internal/edgedetect"
-	"lf/internal/iq"
 	"lf/internal/obs"
 	"lf/internal/pool"
 	"lf/internal/rng"
@@ -127,6 +126,7 @@ func NewStreamDecoder(sampleRate float64, cfg Config) (*StreamDecoder, error) {
 		Metrics: m.Edge, Meter: meter,
 		ShardWorkers: shardW, Shards: m.Shard,
 		StripeRunner: cfg.StripeRunner,
+		Calib:        cfg.sicCalib, Seed: cfg.sicSeed,
 	})
 	if err != nil {
 		return nil, err
@@ -258,23 +258,7 @@ func (sd *StreamDecoder) flushTail(t0 time.Time) (*Result, error) {
 						Detail: fmt.Sprintf("%s: %v", StageCancel, r)})
 				}
 			}()
-			capture := &iq.Capture{SampleRate: sd.sampleRate, Samples: sd.retain}
-			minRecoverE := 3 * sd.det.NoiseFloor()
-			for round := 0; round < sd.cfg.CancellationRounds; round++ {
-				sd.m.SIC.Rounds.Inc()
-				sd.m.SIC.ResidualDecodes.Inc()
-				fresh := cancelAndRetry(capture, sd.results, sd.cfg, minRecoverE, sd.workers, sd.meter)
-				if sd.tracer != nil {
-					sd.tracer.Trace(obs.SpanEvent{Stage: "sic", Stream: -1,
-						Pos: sd.det.Front(), N: int64(len(fresh))})
-				}
-				if len(fresh) == 0 {
-					break
-				}
-				sd.m.SIC.Recovered.Add(int64(len(fresh)))
-				sd.results = append(sd.results, fresh...)
-				sd.res.RecoveredStreams += len(fresh)
-			}
+			sd.runCancellation()
 		}()
 		sd.observe(sd.m.Stage.Cancel, tc)
 	}

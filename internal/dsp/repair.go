@@ -1,0 +1,46 @@
+package dsp
+
+import "math"
+
+// Prefix-sum subtract-and-repair support for incremental SIC
+// (DESIGN.md §17). A cancellation round changes the residual capture
+// only inside the cancelled streams' dirty spans, and every consumer
+// of the SoA prefix sums reads windowed differences sums[hi]−sums[lo];
+// a difference is invariant to the fold's starting base, so the lanes
+// can be (re)folded span-locally — each dirty region from its own
+// committed (or zeroed) accumulator, bounded to the region — at
+// O(dirty) cost instead of O(capture). RepairPrefix is the fold
+// kernel: entry j depends only on the accumulator at the cut and the
+// samples in [cut, j), so a suffix refold from a committed accumulator
+// is bitwise identical to a full refold, and a bounded refold from a
+// zero base yields differences bitwise identical to the from-origin
+// lanes within the folded region.
+
+// RepairPrefix refolds the from-origin prefix-sum lanes re/im (each
+// len(samples)+1, re[j] = Σ real(samples[0:j])) over samples[from:],
+// reading the committed accumulator at index from and rewriting
+// entries (from, len(samples)]. Entries at or below from are not
+// touched or read beyond re[from]/im[from].
+//
+// Samples must satisfy the edge detector's admission gate: finite and
+// with |component| < maxMag (edgedetect's maxSampleMag — past it the
+// running sums could overflow to Inf and poison every windowed mean).
+// The fold stops at the first sample that fails the gate and its index
+// is returned; the caller must then fall back to the push path, whose
+// hold-last-finite replacement owns that semantics. Returns -1 when
+// the whole suffix folded cleanly.
+func RepairPrefix(re, im []float64, samples []complex128, from int, maxMag float64) int {
+	accRe, accIm := re[from], im[from]
+	for j := from; j < len(samples); j++ {
+		sr, si := real(samples[j]), imag(samples[j])
+		if math.IsNaN(sr) || math.IsNaN(si) ||
+			sr >= maxMag || sr <= -maxMag || si >= maxMag || si <= -maxMag {
+			return j
+		}
+		accRe += sr
+		accIm += si
+		re[j+1] = accRe
+		im[j+1] = accIm
+	}
+	return -1
+}

@@ -1,0 +1,168 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const repairMaxMag = 1e150 // mirrors edgedetect's maxSampleMag
+
+// foldReference is the detector's fold: a plain sequential left
+// accumulation of components into from-origin prefix arrays.
+func foldReference(samples []complex128) (re, im []float64) {
+	re = make([]float64, len(samples)+1)
+	im = make([]float64, len(samples)+1)
+	var ar, ai float64
+	for j, v := range samples {
+		ar += real(v)
+		ai += imag(v)
+		re[j+1] = ar
+		im[j+1] = ai
+	}
+	return re, im
+}
+
+func TestRepairPrefixMatchesFullFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 64; trial++ {
+		n := 1 + rng.Intn(512)
+		orig := make([]complex128, n)
+		for i := range orig {
+			orig[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		re, im := foldReference(orig)
+
+		// Mutate a dirty suffix starting at a random cut, then repair
+		// from the cut and compare against a from-scratch fold of the
+		// mutated samples — bitwise.
+		cut := rng.Intn(n + 1)
+		mutated := append([]complex128(nil), orig...)
+		for i := cut; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				mutated[i] -= complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+		}
+		if bad := RepairPrefix(re, im, mutated, cut, repairMaxMag); bad != -1 {
+			t.Fatalf("trial %d: unexpected bad sample at %d", trial, bad)
+		}
+		wantRe, wantIm := foldReference(mutated)
+		for j := range wantRe {
+			if re[j] != wantRe[j] || im[j] != wantIm[j] {
+				t.Fatalf("trial %d cut %d: prefix[%d] = (%v,%v), want (%v,%v)",
+					trial, cut, j, re[j], im[j], wantRe[j], wantIm[j])
+			}
+		}
+	}
+}
+
+func TestRepairPrefixRejectsBadSamples(t *testing.T) {
+	samples := []complex128{1 + 1i, 2, complex(math.NaN(), 0), 4}
+	re := make([]float64, len(samples)+1)
+	im := make([]float64, len(samples)+1)
+	if bad := RepairPrefix(re, im, samples, 0, repairMaxMag); bad != 2 {
+		t.Fatalf("NaN sample: bad = %d, want 2", bad)
+	}
+	samples[2] = complex(0, math.Inf(1))
+	if bad := RepairPrefix(re, im, samples, 0, repairMaxMag); bad != 2 {
+		t.Fatalf("Inf sample: bad = %d, want 2", bad)
+	}
+	samples[2] = complex(repairMaxMag, 0) // at the bound: rejected, like sampleOK
+	if bad := RepairPrefix(re, im, samples, 0, repairMaxMag); bad != 2 {
+		t.Fatalf("overflow-magnitude sample: bad = %d, want 2", bad)
+	}
+	samples[2] = complex(-repairMaxMag/2, 0)
+	if bad := RepairPrefix(re, im, samples, 0, repairMaxMag); bad != -1 {
+		t.Fatalf("admissible sample rejected: bad = %d", bad)
+	}
+	// Repair from past the bad index never observes it.
+	samples[2] = complex(math.NaN(), 0)
+	re[3], im[3] = 7, 9 // arbitrary committed accumulator at the cut
+	if bad := RepairPrefix(re, im, samples, 3, repairMaxMag); bad != -1 {
+		t.Fatalf("repair past bad sample: bad = %d", bad)
+	}
+	if re[4] != 7+4 || im[4] != 9 {
+		t.Fatalf("repair past bad sample: got (%v,%v), want (11,9)", re[4], im[4])
+	}
+}
+
+// FuzzPrefixRepair fuzzes the subtract-and-repair contract: folding a
+// capture, mutating an arbitrary suffix, and repairing from the cut
+// must be bitwise identical to refolding the mutated capture from
+// scratch — or must stop at exactly the first inadmissible sample.
+func FuzzPrefixRepair(f *testing.F) {
+	f.Add(int64(1), 16, 4)
+	f.Add(int64(99), 1, 0)
+	f.Add(int64(3), 300, 299)
+	f.Fuzz(func(t *testing.T, seed int64, n, cut int) {
+		if n < 1 || n > 4096 {
+			return
+		}
+		if cut < 0 || cut > n {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		samples := make([]complex128, n)
+		for i := range samples {
+			// Mostly ordinary magnitudes with occasional huge, tiny,
+			// negative-zero, and non-finite values.
+			switch rng.Intn(12) {
+			case 0:
+				samples[i] = complex(math.Inf(1), 0)
+			case 1:
+				samples[i] = complex(0, math.NaN())
+			case 2:
+				samples[i] = complex(repairMaxMag*2, -repairMaxMag*2)
+			case 3:
+				samples[i] = complex(math.Copysign(0, -1), 0)
+			default:
+				samples[i] = complex(rng.NormFloat64()*1e3, rng.NormFloat64()*1e-3)
+			}
+		}
+		firstBad := -1
+		for i := cut; i < n; i++ {
+			v := samples[i]
+			sr, si := real(v), imag(v)
+			if math.IsNaN(sr) || math.IsNaN(si) ||
+				sr >= repairMaxMag || sr <= -repairMaxMag ||
+				si >= repairMaxMag || si <= -repairMaxMag {
+				firstBad = i
+				break
+			}
+		}
+
+		// Seed the arrays with a clean-prefix fold (the committed state
+		// a prior round would have left) and garbage past the cut.
+		re := make([]float64, n+1)
+		im := make([]float64, n+1)
+		var ar, ai float64
+		for j := 0; j < cut; j++ {
+			ar += real(samples[j])
+			ai += imag(samples[j])
+			re[j+1] = ar
+			im[j+1] = ai
+		}
+		for j := cut + 1; j <= n; j++ {
+			re[j], im[j] = math.NaN(), math.NaN()
+		}
+
+		bad := RepairPrefix(re, im, samples, cut, repairMaxMag)
+		if bad != firstBad {
+			t.Fatalf("bad index = %d, want %d", bad, firstBad)
+		}
+		if bad != -1 {
+			return // fold abandoned; caller falls back to the push path
+		}
+		// Bitwise comparison: a bad sample below the cut can leave a NaN
+		// accumulator at re[cut], which must propagate identically.
+		accRe, accIm := re[cut], im[cut]
+		for j := cut; j < n; j++ {
+			accRe += real(samples[j])
+			accIm += imag(samples[j])
+			if math.Float64bits(re[j+1]) != math.Float64bits(accRe) ||
+				math.Float64bits(im[j+1]) != math.Float64bits(accIm) {
+				t.Fatalf("prefix[%d] = (%v,%v), want (%v,%v)", j+1, re[j+1], im[j+1], accRe, accIm)
+			}
+		}
+	})
+}

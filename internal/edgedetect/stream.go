@@ -47,6 +47,63 @@ type StreamConfig struct {
 	// error, which poisons the stripe like an in-process panic). Ignored
 	// when ShardWorkers < 2.
 	StripeRunner func(*StripeJob) error
+	// Calib, when non-nil, presets noise calibration: the stream starts
+	// calibrated with the given floor and threshold, no calibration
+	// median is taken, and the coarse-to-fine sweep runs sparse from
+	// position 0. SIC residual decodes use this to carry the first
+	// pass's calibration — the noise floor is a property of the channel
+	// and receiver chain, and subtracting decoded signal from the
+	// capture does not change it (DESIGN.md §17). Both values must be
+	// finite and positive. CalibSamples is ignored when set. The
+	// quantized skip tier stays off (its scale is fixed from the
+	// calibration window this stream never observes); the float64
+	// tiers decide identically.
+	Calib *CalibPreset
+	// Seed, when non-nil, adopts a pre-folded capture instead of pushed
+	// blocks: the stream aliases the caller's from-origin prefix-sum
+	// lanes directly — no sample ingest, no fold — and Close drives
+	// detection end to end. Push is an error on a seeded stream. The
+	// caller keeps ownership of the arrays: the stream never compacts,
+	// mutates, or pool-recycles them (Release simply drops the alias),
+	// so a SIC round cache can repair and re-seed the same arrays
+	// across rounds. Every folded sample must have been admissible
+	// (finite, below the overflow bound — see MaxSampleMag); captures
+	// with replaced samples must take the push path, which owns the
+	// hold-last-finite semantics. Requires Calib.
+	Seed *SweepSeed
+}
+
+// CalibPreset fixes the noise floor and detection threshold a stream
+// starts with instead of deriving them from its own capture.
+type CalibPreset struct {
+	Floor, Threshold float64
+}
+
+// SweepSeed hands a stream pre-folded prefix-sum lanes, both len n+1
+// for an n-sample capture. Fully folded lanes hold
+// SumsRe[j]/SumsIm[j] = componentwise sum of samples [0, j); under an
+// Active mask the caller may instead fold each padded mask region from
+// its own zero base and leave the entries between regions unspecified.
+// Every read the stream performs is a windowed difference
+// sums[hi]−sums[lo] with both endpoints inside one region — sweep and
+// refinement windows reach at most Gap+MaxWin outside a probed
+// position, and the caller owns padding the regions to cover every
+// position its own measurement calls (MeasureAt/MeasureAtClean) probe
+// — so any per-region base cancels and the detection is identical to
+// one over from-origin lanes. See StreamConfig.Seed for the ownership
+// and admissibility contract (admissibility applies to the folded
+// regions).
+type SweepSeed struct {
+	SumsRe, SumsIm []float64
+	// Active, when non-nil, restricts detection to the given spans:
+	// sorted, disjoint, half-open sample ranges within [0, n].
+	// Differential magnitudes outside them are recorded as zero and the
+	// local-maximum scan never visits them — exactly the sparse tier's
+	// don't-care contract, except the skip decision is the caller's.
+	// The caller owns the soundness argument that out-of-mask positions
+	// carry nothing it wants detected (the SIC dirty-span closure:
+	// DESIGN.md §17). nil sweeps the whole capture.
+	Active []shard.Range
 }
 
 // Stream is an incremental edge detector: IQ samples are pushed in
@@ -152,6 +209,15 @@ type Stream struct {
 	err      error
 	released bool
 
+	// extSums marks caller-owned (seeded) prefix-sum arrays: never
+	// compacted in place, never recycled to the pool, and Push is
+	// rejected (see StreamConfig.Seed).
+	extSums bool
+	// active, when non-nil, is the seeded detection mask (sorted
+	// disjoint sample spans); the sweep and the local-maximum scan
+	// visit only these ranges (SweepSeed.Active).
+	active []shard.Range
+
 	// compactGate, when non-nil, must return true for the prefix-sum
 	// window to compact in place (see CompactionGate / View).
 	compactGate func() bool
@@ -167,6 +233,11 @@ type Span struct{ Lo, Hi int64 }
 // magnitude below this.
 const maxSampleMag = 1e150
 
+// MaxSampleMag exports the admission bound for callers that pre-fold
+// seeded prefix sums (the maxMag argument of dsp.RepairPrefix): a
+// seeded capture must contain no sample a Push would have replaced.
+const MaxSampleMag = maxSampleMag
+
 // maxDropSpans caps the recorded span list so adversarial NaN floods
 // cannot grow unbounded state: past the cap, new drops widen the last
 // span (conservative over-blanking).
@@ -181,12 +252,51 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 	if cfg.CalibSamples < 0 {
 		return nil, fmt.Errorf("edgedetect: negative CalibSamples %d", cfg.CalibSamples)
 	}
+	if cfg.Calib != nil {
+		f, th := cfg.Calib.Floor, cfg.Calib.Threshold
+		if !(f > 0) || !(th > 0) || math.IsInf(f, 1) || math.IsInf(th, 1) {
+			return nil, fmt.Errorf("edgedetect: calibration preset (%v, %v) must be finite and positive", f, th)
+		}
+	}
+	if cfg.Seed != nil {
+		if cfg.Calib == nil {
+			return nil, errors.New("edgedetect: Seed requires Calib")
+		}
+		if len(cfg.Seed.SumsRe) < 2 || len(cfg.Seed.SumsRe) != len(cfg.Seed.SumsIm) {
+			return nil, fmt.Errorf("edgedetect: seed prefix lanes len %d/%d (want equal, ≥ 2)",
+				len(cfg.Seed.SumsRe), len(cfg.Seed.SumsIm))
+		}
+		prev := int64(0)
+		for _, r := range cfg.Seed.Active {
+			if r.Lo < prev || r.Hi <= r.Lo || r.Hi > int64(len(cfg.Seed.SumsRe)-1) {
+				return nil, fmt.Errorf("edgedetect: seed active span [%d, %d) not sorted, disjoint, and within the capture", r.Lo, r.Hi)
+			}
+			prev = r.Hi
+		}
+	}
 	s := &Stream{cfg: cfg.Config, calib: cfg.CalibSamples, workers: work.Resolve(cfg.Parallelism),
 		em: cfg.Metrics, meter: cfg.Meter, sm: cfg.Shards, stripeRun: cfg.StripeRunner}
-	s.sumsRe = append(pool.Float(0), 0)
-	s.sumsIm = append(pool.Float(0), 0)
+	if cfg.Seed != nil {
+		s.sumsRe, s.sumsIm = cfg.Seed.SumsRe, cfg.Seed.SumsIm
+		s.active = cfg.Seed.Active
+		s.extSums = true
+		s.front = int64(len(s.sumsRe) - 1)
+		s.accRe = s.sumsRe[len(s.sumsRe)-1]
+		s.accIm = s.sumsIm[len(s.sumsIm)-1]
+	} else {
+		s.sumsRe = append(pool.Float(0), 0)
+		s.sumsIm = append(pool.Float(0), 0)
+	}
+	if cfg.Calib != nil {
+		s.calibrated = true
+		s.floor = cfg.Calib.Floor
+		s.threshold = cfg.Calib.Threshold
+	}
 	s.mag = pool.Float(0)
-	if cfg.ShardWorkers >= 2 {
+	// A seeded stream's sweep runs once, at Close, over the (typically
+	// small) active mask; striping it buys nothing and the mask is an
+	// inline-sweep feature, so shard mode stays off.
+	if cfg.ShardWorkers >= 2 && cfg.Seed == nil {
 		s.shardWorkers = cfg.ShardWorkers
 		s.shards = shard.NewPool(s.shardWorkers, maxStripesInFlight*s.shardWorkers)
 	}
@@ -197,11 +307,17 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 // internal buffer at its grown capacity so steady-state reuse does not
 // allocate. Edges returned before the Reset are invalidated.
 func (s *Stream) Reset() {
-	if s.released {
+	if s.released || s.extSums {
+		// Seeded arrays stay with their owner; a reset stream starts
+		// over on its own pooled lanes (and drops any calibration
+		// preset with the rest of the calibration state).
+		if s.released {
+			s.mag = pool.Float(0)
+		}
 		s.sumsRe = pool.Float(0)
 		s.sumsIm = pool.Float(0)
-		s.mag = pool.Float(0)
-		s.released = false
+		s.released, s.extSums = false, false
+		s.active = nil
 	}
 	s.sumsRe = append(s.sumsRe[:0], 0)
 	s.sumsIm = append(s.sumsIm[:0], 0)
@@ -238,6 +354,9 @@ func (s *Stream) Push(block []complex128) error {
 	}
 	if s.released {
 		return errors.New("edgedetect: push on released stream")
+	}
+	if s.extSums {
+		return errors.New("edgedetect: push on seeded stream")
 	}
 	if s.eof {
 		return errors.New("edgedetect: push after close")
@@ -346,8 +465,10 @@ func (s *Stream) Release() {
 	s.released = true
 	s.closeShards()
 	s.disableQuant()
-	pool.PutFloat(s.sumsRe)
-	pool.PutFloat(s.sumsIm)
+	if !s.extSums {
+		pool.PutFloat(s.sumsRe)
+		pool.PutFloat(s.sumsIm)
+	}
 	s.sumsRe, s.sumsIm = nil, nil
 	if s.mag != nil {
 		pool.PutFloat(s.mag)
@@ -363,6 +484,12 @@ func (s *Stream) Edges() []Edge { return s.edges }
 // NoiseFloor returns the calibrated background differential magnitude
 // (0 before calibration).
 func (s *Stream) NoiseFloor() float64 { return s.floor }
+
+// Threshold returns the calibrated detection threshold (0 before
+// calibration) — the floor scaled by ThresholdFactor, with the
+// noiseless-capture guard applied. Exposed so a SIC residual pass can
+// carry the first pass's calibration verbatim (StreamConfig.Calib).
+func (s *Stream) Threshold() float64 { return s.threshold }
 
 // Calibrated reports whether the detection threshold has been fixed.
 func (s *Stream) Calibrated() bool { return s.calibrated }
@@ -648,8 +775,7 @@ func (s *Stream) advance() {
 		// magDone it was built at — but the floor is what the proof
 		// stands on, so check it, not the construction).
 		useQ := s.q16 && max(lo, intLo)-guard-margin >= s.qValid
-		s.meter.DoRanges(s.workers, count, func(clo, chi int) {
-			plo, phi := lo+int64(clo), lo+int64(chi)
+		sweepChunk := func(plo, phi int64) {
 			ilo := max(plo, intLo)
 			ihi := min(phi, intHi)
 			for p := plo; p < min(ilo, phi); p++ {
@@ -672,7 +798,42 @@ func (s *Stream) advance() {
 			for p := max(ihi, plo); p < phi; p++ {
 				s.mag[p-s.magBase] = 0
 			}
-		})
+		}
+		if s.active == nil {
+			s.meter.DoRanges(s.workers, count, func(clo, chi int) {
+				sweepChunk(lo+int64(clo), lo+int64(chi))
+			})
+		} else {
+			// Masked sweep: the kernel runs only over the active spans (a
+			// seeded stream sweeps once, at Close, so this branch runs once
+			// with lo = 0). Positions outside the spans are don't-care, and
+			// the only reads that stray past a span boundary are the scan's
+			// neighbour probes (±1) and centroiding (±(Gap+2)) at in-span
+			// peaks — so zeroing a Gap+3 margin around each span makes
+			// every out-of-mask read deterministic without an O(capture)
+			// clear; beyond the margins the buffer keeps whatever the pool
+			// held, unread.
+			zpad := g + 3
+			for _, r := range s.active {
+				mlo, mhi := max(r.Lo-zpad, lo), min(r.Lo, hi)
+				for p := mlo; p < mhi; p++ {
+					s.mag[p-s.magBase] = 0
+				}
+				mlo, mhi = max(r.Hi, lo), min(r.Hi+zpad, hi)
+				for p := mlo; p < mhi; p++ {
+					s.mag[p-s.magBase] = 0
+				}
+			}
+			for _, r := range s.active {
+				rlo, rhi := max(r.Lo, lo), min(r.Hi, hi)
+				if rlo >= rhi {
+					continue
+				}
+				s.meter.DoRanges(s.workers, int(rhi-rlo), func(clo, chi int) {
+					sweepChunk(rlo+int64(clo), rlo+int64(chi))
+				})
+			}
+		}
 		if len(s.dropSpans) > 0 {
 			s.blankDropped(lo, hi, margin)
 		}
@@ -733,21 +894,35 @@ func (s *Stream) advance() {
 	if scanHi > s.scanned {
 		limit := s.limit()
 		rawBefore := len(s.raw)
-		for i := s.scanned; i < scanHi; i++ {
-			v := s.magAt(i)
-			if v < s.threshold {
-				continue
+		scanRange := func(slo, shi int64) {
+			for i := slo; i < shi; i++ {
+				v := s.magAt(i)
+				if v < s.threshold {
+					continue
+				}
+				if i > 0 && s.magAt(i-1) > v {
+					continue
+				}
+				if i+1 < limit && s.magAt(i+1) > v {
+					continue
+				}
+				if i > 0 && s.magAt(i-1) == v {
+					continue // plateau continuation
+				}
+				s.raw = append(s.raw, dsp.Peak{Pos: i, Value: v})
 			}
-			if i > 0 && s.magAt(i-1) > v {
-				continue
+		}
+		if s.active == nil {
+			scanRange(s.scanned, scanHi)
+		} else {
+			// Masked scan: positions outside the active spans hold
+			// don't-care zeros below the (positive, preset) threshold, so
+			// skipping them takes the same branch the full scan would.
+			for _, r := range s.active {
+				if rlo, rhi := max(r.Lo, s.scanned), min(r.Hi, scanHi); rlo < rhi {
+					scanRange(rlo, rhi)
+				}
 			}
-			if i+1 < limit && s.magAt(i+1) > v {
-				continue
-			}
-			if i > 0 && s.magAt(i-1) == v {
-				continue // plateau continuation
-			}
-			s.raw = append(s.raw, dsp.Peak{Pos: i, Value: v})
 		}
 		s.em.RawPeaks.Add(int64(len(s.raw) - rawBefore))
 		s.scanned = scanHi
@@ -929,6 +1104,12 @@ func (s *Stream) trim() {
 }
 
 func (s *Stream) dropSums(keep int64) {
+	if s.extSums {
+		// Seeded lanes are caller-owned and must survive intact for the
+		// next SIC round's span-local repair; they cost nothing extra to
+		// retain (the caller holds them regardless).
+		return
+	}
 	if keep > s.front {
 		keep = s.front
 	}

@@ -110,6 +110,17 @@ type SICMetrics struct {
 	ResidualDecodes *Counter
 	// Recovered counts streams recovered from residuals.
 	Recovered *Counter
+	// DirtySamples totals, over executed rounds, the size of the
+	// round's detection mask: the newly cancelled streams' extents
+	// widened by the sweep's cut distance and closed over the decoded
+	// streams they interact with (DESIGN.md §17). A pure function of
+	// the decode, so decode-class despite measuring the incremental
+	// win.
+	DirtySamples *Counter
+	// CarriedStreams totals, over executed rounds, the trusted streams
+	// whose subtraction was carried over from earlier rounds instead of
+	// being recomputed.
+	CarriedStreams *Counter
 }
 
 // FrameMetrics instruments frame commit, recorded at flush in result
@@ -166,6 +177,9 @@ type StageTimings struct {
 	Commit *Timing
 	// Cancel covers the SIC rounds at flush.
 	Cancel *Timing
+	// SIC covers each residual sub-decode inside a cancellation round
+	// (a subset of Cancel; per-round rather than per-flush).
+	SIC *Timing
 	// Flush covers the whole Flush call.
 	Flush *Timing
 }
@@ -251,6 +265,8 @@ func NewPipeline() *Pipeline {
 			Rounds:          r.Counter("sic.rounds", ClassDecode),
 			ResidualDecodes: r.Counter("sic.residual_decodes", ClassDecode),
 			Recovered:       r.Counter("sic.recovered", ClassDecode),
+			DirtySamples:    r.Counter("sic.dirty_samples", ClassDecode),
+			CarriedStreams:  r.Counter("sic.carried_streams", ClassDecode),
 		},
 		Frames: FrameMetrics{
 			Committed:    r.Counter("frames.committed", ClassDecode),
@@ -279,6 +295,7 @@ func NewPipeline() *Pipeline {
 			Walk:   r.Timing("stage.walk_ns"),
 			Commit: r.Timing("stage.commit_ns"),
 			Cancel: r.Timing("stage.cancel_ns"),
+			SIC:    r.Timing("stage.sic_ns"),
 			Flush:  r.Timing("stage.flush_ns"),
 		},
 		Pipe: PipeMetrics{

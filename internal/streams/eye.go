@@ -749,11 +749,56 @@ func anchorScan(edges []edgedetect.Edge, offset, period float64, gens []complex1
 	// When a near-antipodal sibling can swallow co-toggle edges,
 	// missing preamble edges are expected and must not be penalized.
 	missPenalty := -2
+	minScore := 2 * (cfg.PreambleLen - 2)
 	if shadowed || cancellable(gens, target) {
 		missPenalty = 0
+		minScore = cfg.PreambleLen // half the preamble visible is convincing enough
+	}
+	// A lattice position whose whole probe window holds no edge scores
+	// exactly PreambleLen*missPenalty+3 (every preamble slot misses,
+	// both silence slots and the delimiter land their bonus). When that
+	// is below minScore — always, for any useful preamble length — such
+	// positions can neither be returned (their score cannot pass the
+	// gate) nor tie-preempt a returned best (ties need equal score at or
+	// above the gate), so the scan may skip them wholesale. eOccupied
+	// only ever examines edges with Pos >= probe-tol-16 and
+	// First <= probe+tol, so "no edge Pos inside the window padded by
+	// the worst probe tolerance and the widest Pos-First extent" proves
+	// every probe of the template false. This turns the scan from
+	// O(window/period) into O(edge clusters) — the cost that matters on
+	// the mostly-quiet slotted captures of DESIGN.md §17, where the
+	// start window spans the whole response schedule.
+	canSkip := cfg.PreambleLen*missPenalty+3 < minScore
+	var winLo, winHi float64
+	if canSkip {
+		tolMax := float64(cfg.PosTol) + 2 + float64(cfg.PreambleLen)*period*cfg.DriftPPM/1e6
+		maxExtent := 0.0
+		for i := range edges {
+			if ext := float64(edges[i].Pos - edges[i].First); ext > maxExtent {
+				maxExtent = ext
+			}
+		}
+		winLo = 2*period + tolMax + 16
+		winHi = float64(cfg.PreambleLen)*period + tolMax + maxExtent
 	}
 	best, bestScore := offset, -1000
 	for pos := earliest; pos <= float64(cfg.MaxStart); pos += period {
+		if canSkip {
+			i := sort.Search(len(edges), func(i int) bool {
+				return float64(edges[i].Pos) >= pos-winLo
+			})
+			if i == len(edges) {
+				break // no edges this far out: every remaining position is empty
+			}
+			if e := float64(edges[i].Pos); e > pos+winHi {
+				// Jump to the first lattice position whose window
+				// reaches the next edge; everything in between is
+				// provably empty. The post statement adds one period.
+				steps := math.Ceil((e - winHi - pos) / period)
+				pos += (steps - 1) * period
+				continue
+			}
+		}
 		// Score the frame-head template: PreambleLen e-occupied slots,
 		// silence in the two slots before (the tag had not powered
 		// up), and the empty delimiter slot after.
@@ -778,10 +823,6 @@ func anchorScan(edges []edgedetect.Edge, offset, period float64, gens []complex1
 		if score > bestScore {
 			best, bestScore = pos, score
 		}
-	}
-	minScore := 2 * (cfg.PreambleLen - 2)
-	if shadowed || cancellable(gens, target) {
-		minScore = cfg.PreambleLen // half the preamble visible is convincing enough
 	}
 	if bestScore < minScore {
 		return -1 // no convincing frame head anywhere in the window

@@ -362,6 +362,15 @@ type DecoderConfig struct {
 	// absorb stage-time jitter but buffer more pushed samples, which
 	// RetainedBytes accounts for.
 	StageDepth int
+	// StartWindowSeconds overrides how late after carrier-on a frame
+	// may begin (streams.Config.MaxStart). The default covers only the
+	// comparator jitter window — right for epochs where every tag fires
+	// at carrier-on, and tight enough that payload 1-runs cannot
+	// masquerade as preambles. A reader running a slotted response
+	// schedule (tags answering in assigned slots across a long
+	// listening window) must widen it to the whole schedule. 0 keeps
+	// the default.
+	StartWindowSeconds float64
 	// CalibSamples bounds the edge detector's noise calibration to the
 	// capture's first CalibSamples positions. Setting it is what lets a
 	// streaming decode start emitting frames — and bound its memory —
@@ -378,6 +387,12 @@ type DecoderConfig struct {
 	// Decodes are bit-identical either way (DESIGN.md §12); the knob
 	// exists for A/B benchmarking and debugging.
 	ForceDenseSweep bool
+	// ForceFullResidual disables incremental SIC, forcing every
+	// cancellation round to rebuild the residual capture and re-decode
+	// it from scratch. Decodes are bit-identical either way (DESIGN.md
+	// §17); the knob exists for A/B benchmarking and equivalence tests
+	// (sic_equivalence_test.go), mirroring ForceDenseSweep.
+	ForceFullResidual bool
 	// CancellationRounds overrides successive interference cancellation:
 	// 0 keeps the default (3 rounds), negative disables. SIC needs the
 	// whole raw capture, so streaming decodes retain O(capture) memory
@@ -506,6 +521,9 @@ func NewDecoder(cfg DecoderConfig) (*Decoder, error) {
 	dc.Stages = cfg.Stages
 	dc.Separation = cfg.Separation
 	dc.Streams.Registration = cfg.Registration
+	if cfg.StartWindowSeconds > 0 {
+		dc.Streams.MaxStart = int64(cfg.StartWindowSeconds * cfg.SampleRate)
+	}
 	dc.Parallelism = cfg.Parallelism
 	dc.PipelineParallelism = cfg.PipelineParallelism
 	dc.ShardParallelism = cfg.ShardParallelism
@@ -514,6 +532,7 @@ func NewDecoder(cfg DecoderConfig) (*Decoder, error) {
 	dc.CalibSamples = cfg.CalibSamples
 	dc.ViterbiWindow = cfg.ViterbiWindow
 	dc.ForceDenseSweep = cfg.ForceDenseSweep
+	dc.ForceFullResidual = cfg.ForceFullResidual
 	dc.OnFrame = cfg.OnFrame
 	dc.Tracer = cfg.Tracer
 	if cfg.CancellationRounds != 0 {
