@@ -3,7 +3,7 @@ FUZZTIME ?= 30s
 
 .PHONY: all build vet test race race-stream bench benchjson benchguard \
 	fuzz fuzz-smoke kernel-smoke obs-smoke stage-smoke shard-smoke \
-	sic-smoke dist-smoke robustness-smoke profile ci clean
+	sic-smoke dist-smoke gate-smoke robustness-smoke profile ci clean
 
 all: build
 
@@ -52,6 +52,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadCapture -fuzztime $(FUZZTIME) ./internal/iq
 	$(GO) test -run '^$$' -fuzz FuzzStreamPush -fuzztime $(FUZZTIME) ./internal/decoder
 	$(GO) test -run '^$$' -fuzz FuzzWireFrame -fuzztime $(FUZZTIME) ./internal/dist
+	$(GO) test -run '^$$' -fuzz FuzzGateFrame -fuzztime $(FUZZTIME) ./internal/gate
 	$(GO) test -run '^$$' -fuzz FuzzPrefixRepair -fuzztime $(FUZZTIME) ./internal/dsp
 
 # Short-budget fuzz pass for CI: enough executions to catch decode-path
@@ -115,6 +116,18 @@ dist-smoke:
 	$(GO) test -race ./internal/dist
 	$(GO) run ./cmd/lfbench -exp dist -quick
 
+# Reader-gateway smoke: the gateway lifecycle suite (resume, kill
+# mid-stream flush, double-Close, connect/disconnect storm, slow-sink
+# backpressure, goroutine-leak check) at -count=3, the root acceptance
+# matrix (reader push blocks {1,4096,whole} x capture faults x
+# transport fault kinds at severity 0.5 — every cell asserting
+# byte-identity against independent local streaming decodes), and a
+# four-reader loopback gateway run with the identity check enforced.
+gate-smoke:
+	$(GO) test -race -count=3 ./internal/gate
+	$(GO) test -race -run 'TestGateway' .
+	$(GO) run ./cmd/lfgate -demo -readers 4 -check
+
 # One-epoch robustness sweep: fault injection across severities with
 # the streaming==batch degraded-identity check enforced per point.
 robustness-smoke:
@@ -126,7 +139,7 @@ profile:
 	$(GO) run ./cmd/lfbench -benchjson /tmp/lfbench-profile.json \
 		-cpuprofile lfbench.cpu.prof -memprofile lfbench.mem.prof
 
-ci: vet build test race race-stream fuzz-smoke kernel-smoke obs-smoke stage-smoke shard-smoke sic-smoke dist-smoke robustness-smoke benchguard
+ci: vet build test race race-stream fuzz-smoke kernel-smoke obs-smoke stage-smoke shard-smoke sic-smoke dist-smoke gate-smoke robustness-smoke benchguard
 
 clean:
 	$(GO) clean ./...

@@ -149,6 +149,7 @@ func runBenchGuard(baselinePath string, seed int64) error {
 	if baseline.Streaming != nil && fresh.Streaming != nil {
 		rtGate("realtime-factor", baseline.Streaming.RealtimeFactor, fresh.Streaming.RealtimeFactor)
 		rtGate("realtime-factor-sharded", baseline.Streaming.RealtimeFactorSharded, fresh.Streaming.RealtimeFactorSharded)
+		rtGate("gateway-frames-per-sec", baseline.Streaming.GatewayFramesPerSec, fresh.Streaming.GatewayFramesPerSec)
 	}
 	if ncpu >= 2 && fresh.Streaming != nil && fresh.Streaming.RealtimeFactorSharded > 0 &&
 		fresh.Streaming.RealtimeFactorSharded < shardedRealtimeFloor {

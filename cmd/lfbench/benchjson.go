@@ -11,6 +11,7 @@ package main
 // document against a fresh run.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -23,6 +24,7 @@ import (
 	"lf"
 	"lf/internal/edgedetect"
 	"lf/internal/experiment"
+	"lf/internal/gate"
 )
 
 // streamBenchBlock matches the SDR DMA buffer size the streaming
@@ -98,6 +100,13 @@ type streamingMetrics struct {
 	// full CaptureSeconds a batch decoder would wait for.
 	FirstFrameSeconds float64 `json:"first_frame_seconds"`
 	CaptureSeconds    float64 `json:"capture_seconds"`
+	// GatewayFramesPerSec is the frame throughput of a loopback
+	// gateway run: gatewayBenchReaders concurrent readers streaming the
+	// bench capture over TCP through per-session decoders on the shared
+	// worker fleet (best of gatewayBenchPasses). Gated by -benchguard
+	// like RealtimeFactor: a >15% drop against the committed baseline
+	// fails the guard.
+	GatewayFramesPerSec float64 `json:"gateway_frames_per_sec,omitempty"`
 }
 
 // sicMetrics characterizes the incremental-SIC residual decode on the
@@ -608,6 +617,12 @@ func buildBenchReport(seed int64) (*benchReport, error) {
 	streaming.RealtimeFactorSharded = shardRT
 	report.Benchmarks = append(report.Benchmarks, shardRows...)
 
+	gwFPS, err := profileGateway(net, ep)
+	if err != nil {
+		return nil, err
+	}
+	streaming.GatewayFramesPerSec = gwFPS
+
 	sic, err := profileSIC(seed)
 	if err != nil {
 		return nil, err
@@ -718,6 +733,52 @@ func buildBenchReport(seed int64) (*benchReport, error) {
 	}))
 
 	return &report, nil
+}
+
+// gatewayBenchReaders is the loopback fleet size the gateway
+// throughput profile streams with; gatewayBenchPasses the number of
+// full round trips measured (the best is reported, matching the
+// minimum-over-passes convention of the SIC timings — a gateway round
+// trip is tens of milliseconds of wall clock, so scheduler noise on a
+// loaded box moves single passes by double-digit percentages).
+const (
+	gatewayBenchReaders = 4
+	gatewayBenchPasses  = 5
+)
+
+// profileGateway measures end-to-end gateway frame throughput: a
+// loopback gateway with gatewayBenchReaders concurrent readers all
+// streaming the bench capture over TCP, each decoded in its own
+// session on the shared worker fleet. Reported as frames/sec over the
+// wall-clock of the whole round trip (connect through final flush), so
+// it covers wire framing, admission, decode, and sink publication.
+func profileGateway(net *lf.Network, ep *lf.Epoch) (float64, error) {
+	dcfg := net.DecoderConfig()
+	dcfg.CalibSamples = streamBenchCalib
+	dcfg.CancellationRounds = -1
+	readers := map[string]gate.LoopbackReader{}
+	for i := 0; i < gatewayBenchReaders; i++ {
+		readers[fmt.Sprintf("bench-%d", i)] = gate.LoopbackReader{
+			Samples:    ep.Capture.Samples,
+			SampleRate: ep.Capture.SampleRate,
+			Nonce:      uint64(i + 1),
+			Block:      streamBenchBlock,
+		}
+	}
+	best := 0.0
+	for pass := 0; pass < gatewayBenchPasses; pass++ {
+		res, err := gate.Loopback(context.Background(), gate.Config{Decoder: dcfg}, readers)
+		if err != nil {
+			return 0, err
+		}
+		if res.FramesTotal == 0 {
+			return 0, fmt.Errorf("gateway profile decoded no frames")
+		}
+		if res.FramesPerSec > best {
+			best = res.FramesPerSec
+		}
+	}
+	return best, nil
 }
 
 // writeCounter discards writes while counting them, so serialization

@@ -12,6 +12,7 @@ import (
 	"lf/internal/fault"
 	"lf/internal/obs"
 	"lf/internal/shard"
+	"lf/internal/wire"
 )
 
 // CoordinatorConfig tunes the shard coordinator.
@@ -500,9 +501,9 @@ func (c *Coordinator) serve(conn net.Conn) {
 	if err != nil || hello.Version != protoVersion {
 		return
 	}
-	var e enc
-	e.u32(protoVersion)
-	if err := writeFrame(conn, msgWelcome, e.b); err != nil {
+	var e wire.Enc
+	e.U32(protoVersion)
+	if err := writeFrame(conn, msgWelcome, e.B); err != nil {
 		return
 	}
 	c.addWorker()

@@ -22,22 +22,15 @@
 package dist
 
 import (
-	"encoding/binary"
-	"fmt"
-	"hash/crc32"
 	"io"
-	"math"
+
+	"lf/internal/wire"
 )
 
-// Wire format. Every message is one frame:
-//
-//	magic(2) | type(1) | payloadLen(4, LE) | payload | crc32(4, LE)
-//
-// The CRC (IEEE) covers type, length, and payload, so a flipped bit
-// anywhere in the frame — header or body — is detected before any
-// field is trusted. Payload integers are little-endian; float64s
-// travel as IEEE-754 bit patterns (math.Float64bits), so shipped
-// prefix sums and returned magnitudes are bit-exact across hosts.
+// Wire format: the shared framing from internal/wire under the 'L','F'
+// magic. Payload integers are little-endian; float64s travel as
+// IEEE-754 bit patterns, so shipped prefix sums and returned
+// magnitudes are bit-exact across hosts.
 const (
 	wireMagic0 = 0x4C // 'L'
 	wireMagic1 = 0x46 // 'F'
@@ -50,10 +43,11 @@ const (
 	// length field cannot make the reader allocate gigabytes. Stripe
 	// jobs ship ≤ ~stripe+2·margin float64 pairs — far below this.
 	maxFramePayload = 64 << 20
-
-	frameHeaderLen  = 2 + 1 + 4
-	frameTrailerLen = 4
 )
+
+// proto is this protocol's framing instance; gate's differs only in
+// magic and payload cap (internal/gate/wire.go).
+var proto = wire.Proto{Name: "dist", Magic0: wireMagic0, Magic1: wireMagic1, MaxPayload: maxFramePayload}
 
 // Message types.
 const (
@@ -65,149 +59,24 @@ const (
 	msgShardErr = 6 // worker → coordinator: typed per-shard failure
 )
 
-// wireError is any framing-level failure: bad magic, CRC mismatch,
-// oversized payload, truncated frame. The coordinator treats it like a
-// dead connection (re-queue and drop the conn); it is never fatal.
-type wireError struct{ msg string }
-
-func (e *wireError) Error() string { return "dist: wire: " + e.msg }
-
+// wireErrf builds a framing-level failure (*wire.Error): bad magic,
+// CRC mismatch, oversized payload, truncated frame. The coordinator
+// treats it like a dead connection (re-queue and drop the conn); it is
+// never fatal.
 func wireErrf(format string, args ...any) error {
-	return &wireError{msg: fmt.Sprintf(format, args...)}
+	return proto.Errf(format, args...)
 }
 
 // writeFrame sends one frame. The payload is borrowed, not retained.
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
-	if len(payload) > maxFramePayload {
-		return wireErrf("payload %d exceeds max %d", len(payload), maxFramePayload)
-	}
-	buf := make([]byte, frameHeaderLen+len(payload)+frameTrailerLen)
-	buf[0], buf[1], buf[2] = wireMagic0, wireMagic1, typ
-	binary.LittleEndian.PutUint32(buf[3:], uint32(len(payload)))
-	copy(buf[frameHeaderLen:], payload)
-	crc := crc32.ChecksumIEEE(buf[2 : frameHeaderLen+len(payload)])
-	binary.LittleEndian.PutUint32(buf[frameHeaderLen+len(payload):], crc)
-	_, err := w.Write(buf)
-	return err
+	return proto.WriteFrame(w, typ, payload)
 }
 
 // readFrame reads and verifies one frame, returning its type and
 // payload. Errors distinguish transport failures (returned verbatim,
-// e.g. io.EOF, timeouts) from framing violations (*wireError).
+// e.g. io.EOF, timeouts) from framing violations (*wire.Error).
 func readFrame(r io.Reader) (byte, []byte, error) {
-	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
-	}
-	if hdr[0] != wireMagic0 || hdr[1] != wireMagic1 {
-		return 0, nil, wireErrf("bad magic %02x%02x", hdr[0], hdr[1])
-	}
-	n := binary.LittleEndian.Uint32(hdr[3:])
-	if n > maxFramePayload {
-		return 0, nil, wireErrf("payload length %d exceeds max %d", n, maxFramePayload)
-	}
-	body := make([]byte, int(n)+frameTrailerLen)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, err
-	}
-	crc := crc32.ChecksumIEEE(hdr[2:])
-	crc = crc32.Update(crc, crc32.IEEETable, body[:n])
-	if got := binary.LittleEndian.Uint32(body[n:]); got != crc {
-		return 0, nil, wireErrf("crc mismatch on type %d frame", hdr[2])
-	}
-	return hdr[2], body[:n:n], nil
-}
-
-// enc is a little append-based payload encoder.
-type enc struct{ b []byte }
-
-func (e *enc) u8(v byte)     { e.b = append(e.b, v) }
-func (e *enc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
-func (e *enc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
-func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
-func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
-func (e *enc) str(s string) {
-	e.u32(uint32(len(s)))
-	e.b = append(e.b, s...)
-}
-func (e *enc) floats(v []float64) {
-	e.u32(uint32(len(v)))
-	for _, f := range v {
-		e.f64(f)
-	}
-}
-
-// dec is the matching consuming decoder; every getter fails softly by
-// latching err, so codecs can decode a whole struct and check once.
-type dec struct {
-	b   []byte
-	err error
-}
-
-func (d *dec) fail() {
-	if d.err == nil {
-		d.err = wireErrf("truncated payload")
-	}
-}
-func (d *dec) u8() byte {
-	if d.err != nil || len(d.b) < 1 {
-		d.fail()
-		return 0
-	}
-	v := d.b[0]
-	d.b = d.b[1:]
-	return v
-}
-func (d *dec) u32() uint32 {
-	if d.err != nil || len(d.b) < 4 {
-		d.fail()
-		return 0
-	}
-	v := binary.LittleEndian.Uint32(d.b)
-	d.b = d.b[4:]
-	return v
-}
-func (d *dec) u64() uint64 {
-	if d.err != nil || len(d.b) < 8 {
-		d.fail()
-		return 0
-	}
-	v := binary.LittleEndian.Uint64(d.b)
-	d.b = d.b[8:]
-	return v
-}
-func (d *dec) i64() int64   { return int64(d.u64()) }
-func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
-func (d *dec) str() string {
-	n := d.u32()
-	if d.err != nil || uint32(len(d.b)) < n {
-		d.fail()
-		return ""
-	}
-	s := string(d.b[:n])
-	d.b = d.b[n:]
-	return s
-}
-func (d *dec) floats() []float64 {
-	n := d.u32()
-	if d.err != nil || uint64(len(d.b)) < uint64(n)*8 {
-		d.fail()
-		return nil
-	}
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = d.f64()
-	}
-	return out
-}
-func (d *dec) done() error {
-	if d.err != nil {
-		return d.err
-	}
-	if len(d.b) != 0 {
-		return wireErrf("%d trailing payload bytes", len(d.b))
-	}
-	return nil
+	return proto.ReadFrame(r)
 }
 
 // wireJob is the on-wire form of one stripe assignment: the job
@@ -231,38 +100,38 @@ type wireJob struct {
 }
 
 func (j *wireJob) encode() []byte {
-	var e enc
-	e.u64(j.ID)
-	e.i64(j.Lo)
-	e.i64(j.Hi)
-	e.i64(j.IntLo)
-	e.i64(j.IntHi)
-	e.i64(j.Base)
-	e.i64(j.Gap)
-	e.i64(j.Win)
-	e.i64(j.Guard)
+	var e wire.Enc
+	e.U64(j.ID)
+	e.I64(j.Lo)
+	e.I64(j.Hi)
+	e.I64(j.IntLo)
+	e.I64(j.IntHi)
+	e.I64(j.Base)
+	e.I64(j.Gap)
+	e.I64(j.Win)
+	e.I64(j.Guard)
 	if j.Sparse {
-		e.u8(1)
+		e.U8(1)
 	} else {
-		e.u8(0)
+		e.U8(0)
 	}
-	e.f64(j.Threshold)
-	e.floats(j.Re)
-	e.floats(j.Im)
-	return e.b
+	e.F64(j.Threshold)
+	e.Floats(j.Re)
+	e.Floats(j.Im)
+	return e.B
 }
 
 func decodeJob(p []byte) (*wireJob, error) {
-	d := dec{b: p}
+	d := wire.NewDec(p)
 	j := &wireJob{
-		ID: d.u64(), Lo: d.i64(), Hi: d.i64(),
-		IntLo: d.i64(), IntHi: d.i64(), Base: d.i64(),
-		Gap: d.i64(), Win: d.i64(), Guard: d.i64(),
-		Sparse: d.u8() != 0, Threshold: d.f64(),
-		Re: d.floats(),
+		ID: d.U64(), Lo: d.I64(), Hi: d.I64(),
+		IntLo: d.I64(), IntHi: d.I64(), Base: d.I64(),
+		Gap: d.I64(), Win: d.I64(), Guard: d.I64(),
+		Sparse: d.U8() != 0, Threshold: d.F64(),
+		Re: d.Floats(),
 	}
-	j.Im = d.floats()
-	if err := d.done(); err != nil {
+	j.Im = d.Floats()
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	if j.Hi < j.Lo || j.Hi-j.Lo > maxFramePayload/8 {
@@ -293,16 +162,16 @@ type wireResult struct {
 }
 
 func (r *wireResult) encode() []byte {
-	var e enc
-	e.u64(r.ID)
-	e.floats(r.Mag)
-	return e.b
+	var e wire.Enc
+	e.U64(r.ID)
+	e.Floats(r.Mag)
+	return e.B
 }
 
 func decodeResult(p []byte) (*wireResult, error) {
-	d := dec{b: p}
-	r := &wireResult{ID: d.u64(), Mag: d.floats()}
-	if err := d.done(); err != nil {
+	d := wire.NewDec(p)
+	r := &wireResult{ID: d.U64(), Mag: d.Floats()}
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return r, nil
@@ -319,18 +188,18 @@ type wireShardErr struct {
 }
 
 func (s *wireShardErr) encode() []byte {
-	var e enc
-	e.u64(s.ID)
-	e.str(s.Stage)
-	e.i64(s.Pos)
-	e.str(s.Msg)
-	return e.b
+	var e wire.Enc
+	e.U64(s.ID)
+	e.Str(s.Stage)
+	e.I64(s.Pos)
+	e.Str(s.Msg)
+	return e.B
 }
 
 func decodeShardErr(p []byte) (*wireShardErr, error) {
-	d := dec{b: p}
-	s := &wireShardErr{ID: d.u64(), Stage: d.str(), Pos: d.i64(), Msg: d.str()}
-	if err := d.done(); err != nil {
+	d := wire.NewDec(p)
+	s := &wireShardErr{ID: d.U64(), Stage: d.Str(), Pos: d.I64(), Msg: d.Str()}
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -343,16 +212,16 @@ type wireHello struct {
 }
 
 func (h *wireHello) encode() []byte {
-	var e enc
-	e.u32(h.Version)
-	e.str(h.Name)
-	return e.b
+	var e wire.Enc
+	e.U32(h.Version)
+	e.Str(h.Name)
+	return e.B
 }
 
 func decodeHello(p []byte) (*wireHello, error) {
-	d := dec{b: p}
-	h := &wireHello{Version: d.u32(), Name: d.str()}
-	if err := d.done(); err != nil {
+	d := wire.NewDec(p)
+	h := &wireHello{Version: d.U32(), Name: d.Str()}
+	if err := d.Done(); err != nil {
 		return nil, err
 	}
 	return h, nil

@@ -10,6 +10,7 @@ import (
 	"lf/internal/decoder"
 	"lf/internal/edgedetect"
 	"lf/internal/fault"
+	"lf/internal/wire"
 )
 
 // WorkerConfig tunes one worker process's pull loop.
@@ -136,8 +137,8 @@ func workerSession(ctx context.Context, conn net.Conn, cfg WorkerConfig) (served
 	if typ != msgWelcome {
 		return 0, wireErrf("expected welcome, got type %d", typ)
 	}
-	d := dec{b: payload}
-	if v := d.u32(); d.err != nil || v != protoVersion {
+	d := wire.NewDec(payload)
+	if v := d.U32(); d.Err() != nil || v != protoVersion {
 		return 0, wireErrf("coordinator speaks version %d, want %d", v, protoVersion)
 	}
 

@@ -1,0 +1,297 @@
+package gate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"lf/internal/decoder"
+)
+
+// Frame is one decoded tag frame as published to sinks: the
+// decode-determined fields of lf.StreamResult (bit-identical to a
+// local decode of the same capture) plus the gateway's provenance —
+// which reader sent the capture, which capture (nonce), and the
+// commit index within that capture's decode.
+type Frame struct {
+	// Reader is the reader name from the session hello.
+	Reader string `json:"reader"`
+	// Capture is the capture nonce from the session hello.
+	Capture uint64 `json:"capture"`
+	// Index is the commit order within the capture's decode
+	// (Result.Streams order; OnFrame fires in exactly this order).
+	Index int `json:"index"`
+	// Source names the registration path (preamble/eye/split).
+	Source string `json:"source"`
+	// Rate is the matched bit rate, bits/s; Offset the refined sample
+	// position of the stream's first preamble edge.
+	Rate   float64 `json:"rate"`
+	Offset float64 `json:"offset"`
+	// Bits is the decoded payload, one byte per bit.
+	Bits []byte `json:"-"`
+	// Confidence, CRCOK, Recovered mirror lf.StreamResult.
+	Confidence float64 `json:"confidence"`
+	CRCOK      bool    `json:"crc_ok"`
+	Recovered  bool    `json:"recovered"`
+}
+
+// BitString renders the payload as a '0'/'1' string — the tag identity
+// key the snapshot sink groups by default (for EPC-style payloads the
+// payload is the tag ID).
+func (f *Frame) BitString() string {
+	b := make([]byte, len(f.Bits))
+	for i, bit := range f.Bits {
+		b[i] = '0' + bit&1
+	}
+	return string(b)
+}
+
+// MarshalJSON emits Bits as the readable bit string instead of base64.
+func (f *Frame) MarshalJSON() ([]byte, error) {
+	type alias Frame // no methods: avoids recursing into MarshalJSON
+	return json.Marshal(struct {
+		*alias
+		Bits string `json:"bits"`
+	}{(*alias)(f), f.BitString()})
+}
+
+// FrameOf builds the published form of one committed stream result —
+// the gateway's publisher uses it, and the acceptance tests use it to
+// derive expected frames from local lf.Decoder.NewStream runs.
+func FrameOf(reader string, capture uint64, index int, sr *decoder.StreamResult) *Frame {
+	f := &Frame{
+		Reader:     reader,
+		Capture:    capture,
+		Index:      index,
+		Rate:       sr.Stream.Rate,
+		Offset:     sr.Stream.Offset,
+		Source:     sr.Stream.Source.String(),
+		Bits:       append([]byte(nil), sr.Bits...),
+		Confidence: sr.Confidence,
+		CRCOK:      sr.CRCOK,
+		Recovered:  sr.Recovered,
+	}
+	return f
+}
+
+// Sink consumes published frames. The gateway serializes publication:
+// Publish is called from gateway goroutines one call at a time and
+// Close is called exactly once, after the last Publish — so
+// implementations need no locking against the gateway. A Publish
+// error is logged and counted, never propagated to the reader: sink
+// health must not corrupt ingest flow control.
+type Sink interface {
+	Publish(*Frame) error
+	Close() error
+}
+
+// JSONLSink writes one JSON object per frame to w — with os.Stdout,
+// the classic pipeline tap. Close flushes but does not close w (the
+// caller owns it).
+type JSONLSink struct {
+	w  *bufio.Writer
+	mu sync.Mutex
+}
+
+// NewJSONLSink wraps w in a line-per-frame JSON sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+func (s *JSONLSink) Publish(f *Frame) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	if _, err := s.w.Write(b); err != nil {
+		return err
+	}
+	return s.w.WriteByte('\n')
+}
+
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// FileSink appends JSONL frames to a file it owns; Close flushes and
+// closes the file.
+type FileSink struct {
+	f *os.File
+	JSONLSink
+}
+
+// NewFileSink creates (or truncates) path and streams frames into it.
+func NewFileSink(path string) (*FileSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("gate: sink: %w", err)
+	}
+	return &FileSink{f: f, JSONLSink: JSONLSink{w: bufio.NewWriter(f)}}, nil
+}
+
+func (s *FileSink) Close() error {
+	err := s.JSONLSink.Close()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// SnapshotSink is the TagPack-style in-memory sink: it groups the
+// latest frame per tag across all readers and exposes the grouping as
+// an atomic, debounced snapshot. Publish updates a private map;
+// consumers call Snapshot and get an immutable map that is replaced
+// wholesale at most once per Debounce interval — a cheap read path
+// ("all tags right now") that never blocks ingest and never shows a
+// half-updated inventory.
+type SnapshotSink struct {
+	// Key derives the tag identity a frame is grouped under. Default:
+	// the payload bit string (EPC-style payloads are the tag ID).
+	Key func(*Frame) string
+	// Debounce is the minimum interval between snapshot rebuilds
+	// (default 50ms). 0 picks the default; negative publishes every
+	// frame immediately.
+	Debounce time.Duration
+
+	mu      sync.Mutex
+	latest  map[string]*Frame
+	seq     uint64 // publishes accepted, for staleness checks in tests
+	last    time.Time
+	timer   *time.Timer
+	closed  bool
+	current sync.Map // single key 0 → TagSnapshot; avoids atomic.Value type gymnastics
+}
+
+// TagSnapshot is one debounced inventory view: tag key → latest frame.
+// The map and the frames it holds are immutable once published.
+type TagSnapshot map[string]*Frame
+
+// NewSnapshotSink builds a snapshot sink with the given debounce
+// interval (0 = 50ms default).
+func NewSnapshotSink(debounce time.Duration) *SnapshotSink {
+	s := &SnapshotSink{Debounce: debounce, latest: make(map[string]*Frame)}
+	if s.Debounce == 0 {
+		s.Debounce = 50 * time.Millisecond
+	}
+	s.current.Store(0, TagSnapshot{})
+	return s
+}
+
+func (s *SnapshotSink) key(f *Frame) string {
+	if s.Key != nil {
+		return s.Key(f)
+	}
+	return f.BitString()
+}
+
+func (s *SnapshotSink) Publish(f *Frame) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("gate: snapshot sink closed")
+	}
+	s.latest[s.key(f)] = f
+	s.seq++
+	if s.Debounce < 0 || time.Since(s.last) >= s.Debounce {
+		s.rebuildLocked()
+		return nil
+	}
+	if s.timer == nil {
+		// One pending rebuild at a time; the timer coalesces every
+		// publish that lands inside the debounce window.
+		s.timer = time.AfterFunc(s.Debounce-time.Since(s.last), func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			s.timer = nil
+			if !s.closed {
+				s.rebuildLocked()
+			}
+		})
+	}
+	return nil
+}
+
+func (s *SnapshotSink) rebuildLocked() {
+	snap := make(TagSnapshot, len(s.latest))
+	for k, v := range s.latest {
+		snap[k] = v
+	}
+	s.current.Store(0, snap)
+	s.last = time.Now()
+}
+
+// Snapshot returns the latest debounced inventory view. The returned
+// map is immutable; successive calls may return the same map.
+func (s *SnapshotSink) Snapshot() TagSnapshot {
+	v, _ := s.current.Load(0)
+	return v.(TagSnapshot)
+}
+
+// Sync forces an immediate rebuild, bypassing the debounce (tests and
+// shutdown paths).
+func (s *SnapshotSink) Sync() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rebuildLocked()
+}
+
+// Seq reports how many publishes the sink has accepted.
+func (s *SnapshotSink) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+func (s *SnapshotSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	s.rebuildLocked()
+	return nil
+}
+
+// collectSink accumulates every published frame per reader, in publish
+// order — the harness sink Loopback and the test suites compare
+// against local decodes.
+type collectSink struct {
+	mu     sync.Mutex
+	frames map[string][]*Frame
+}
+
+func newCollectSink() *collectSink {
+	return &collectSink{frames: make(map[string][]*Frame)}
+}
+
+func (s *collectSink) Publish(f *Frame) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frames[f.Reader] = append(s.frames[f.Reader], f)
+	return nil
+}
+
+func (s *collectSink) Close() error { return nil }
+
+func (s *collectSink) take() map[string][]*Frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]*Frame, len(s.frames))
+	for k, v := range s.frames {
+		out[k] = append([]*Frame(nil), v...)
+	}
+	return out
+}
